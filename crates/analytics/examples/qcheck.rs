@@ -1,0 +1,16 @@
+//! Statically validates every column reference in the 22 TPC-H query
+//! plans (run after editing `queries.rs`).
+fn main() {
+    let mut bad = 0;
+    for q in 1..=22u32 {
+        let p = assasin_analytics::queries::plan(q);
+        match p.validate() {
+            Ok(arity) => println!("Q{q:<2} ok ({arity} output columns)"),
+            Err(e) => {
+                println!("Q{q:<2} INVALID: {e}");
+                bad += 1;
+            }
+        }
+    }
+    std::process::exit(if bad > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,379 @@
+//! Plan execution with operator-level work accounting.
+
+use crate::host::costs;
+use crate::{HostCpuModel, Plan, Pred, Relation};
+use assasin_sim::SimDur;
+use assasin_workloads::{Table, TableId};
+use std::collections::HashMap;
+
+/// What a provider returns for one base-table scan.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// The filtered, projected rows.
+    pub relation: Relation,
+    /// Time spent inside the storage device (zero for host-side scans).
+    pub device_time: SimDur,
+    /// Host-side work incurred by the scan (parsing, residual filtering,
+    /// ingest), in model ops.
+    pub host_ops: f64,
+    /// Bytes that crossed the storage interface.
+    pub bytes_from_storage: u64,
+}
+
+/// The datasource boundary (Figure 9): the executor requests base-table
+/// scans; implementations decide where Parse/Select/Filter run.
+pub trait ScanProvider {
+    /// Scans `table`, applying all `preds` and projecting `project`.
+    fn scan(&mut self, table: TableId, preds: &[Pred], project: &[u32]) -> ScanOutcome;
+}
+
+/// CPU-only provider: raw CSV comes over the storage interface; the host
+/// parses, filters and projects (the "pure-CPU / disaggregated storage"
+/// bars of Figure 15).
+#[derive(Debug, Default)]
+pub struct HostScanProvider {
+    tables: HashMap<TableId, Table>,
+}
+
+impl HostScanProvider {
+    /// An empty provider.
+    pub fn new() -> Self {
+        HostScanProvider::default()
+    }
+
+    /// Registers a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.id(), table);
+    }
+}
+
+impl ScanProvider for HostScanProvider {
+    fn scan(&mut self, table: TableId, preds: &[Pred], project: &[u32]) -> ScanOutcome {
+        let t = self.tables.get(&table).expect("table registered");
+        let csv_bytes = t.to_csv().len() as u64;
+        let mut rel = Relation::empty(project.len().max(1));
+        let mut kept = 0usize;
+        let mut buf = Vec::with_capacity(project.len());
+        for row in t.iter() {
+            if preds.iter().all(|p| p.matches(row[p.col as usize])) {
+                buf.clear();
+                buf.extend(project.iter().map(|&c| row[c as usize]));
+                rel.push_row(&buf);
+                kept += 1;
+            }
+        }
+        let rows = t.rows() as f64;
+        let host_ops = csv_bytes as f64 * costs::PARSE_PER_BYTE
+            + rows * preds.len() as f64 * costs::FILTER_PER_ROW
+            + kept as f64 * costs::MATERIALIZE_PER_ROW;
+        ScanOutcome {
+            relation: rel,
+            device_time: SimDur::ZERO,
+            host_ops,
+            bytes_from_storage: csv_bytes,
+        }
+    }
+}
+
+/// End-to-end result of one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The query output.
+    pub relation: Relation,
+    /// Total in-device time across the query's scans.
+    pub device_time: SimDur,
+    /// Host compute time (scan residue + joins + aggregation + sorting).
+    pub host_time: SimDur,
+    /// Bytes that crossed the storage interface.
+    pub bytes_from_storage: u64,
+}
+
+impl QueryResult {
+    /// Stacked end-to-end latency, the Figure 15 metric.
+    pub fn total(&self) -> SimDur {
+        self.device_time + self.host_time
+    }
+}
+
+/// Executes plans against a provider, counting host work.
+pub struct Executor<'a> {
+    provider: &'a mut dyn ScanProvider,
+    host: HostCpuModel,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(provider: &'a mut dyn ScanProvider, host: HostCpuModel) -> Self {
+        Executor { provider, host }
+    }
+
+    /// Runs a query.
+    pub fn run(&mut self, plan: &Plan) -> QueryResult {
+        let mut acc = Acc::default();
+        let relation = self.eval(plan, &mut acc);
+        QueryResult {
+            relation,
+            device_time: acc.device,
+            host_time: self.host.time(acc.ops),
+            bytes_from_storage: acc.bytes,
+        }
+    }
+
+    fn eval(&mut self, plan: &Plan, acc: &mut Acc) -> Relation {
+        match plan {
+            Plan::Scan {
+                table,
+                preds,
+                project,
+            } => {
+                let outcome = self.provider.scan(*table, preds, project);
+                acc.device += outcome.device_time;
+                acc.ops += outcome.host_ops;
+                acc.bytes += outcome.bytes_from_storage;
+                outcome.relation
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let l = self.eval(left, acc);
+                let r = self.eval(right, acc);
+                acc.ops += r.rows() as f64 * costs::JOIN_BUILD_PER_ROW
+                    + l.rows() as f64 * costs::JOIN_PROBE_PER_ROW;
+                let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
+                for (i, row) in r.iter().enumerate() {
+                    table.entry(row[*right_key as usize]).or_default().push(i);
+                }
+                let mut out = Relation::empty(l.arity() + r.arity());
+                let mut buf = Vec::with_capacity(out.arity());
+                for lrow in l.iter() {
+                    if let Some(matches) = table.get(&lrow[*left_key as usize]) {
+                        for &ri in matches {
+                            buf.clear();
+                            buf.extend_from_slice(lrow);
+                            buf.extend_from_slice(r.row(ri));
+                            out.push_row(&buf);
+                        }
+                    }
+                }
+                acc.ops += out.rows() as f64 * costs::JOIN_OUT_PER_ROW;
+                out
+            }
+            Plan::Agg {
+                input,
+                group_by,
+                sums,
+            } => {
+                let rel = self.eval(input, acc);
+                acc.ops += rel.rows() as f64 * costs::AGG_PER_ROW;
+                let mut groups: HashMap<Vec<u32>, (Vec<u64>, u64)> = HashMap::new();
+                for row in rel.iter() {
+                    let key: Vec<u32> = group_by.iter().map(|&c| row[c as usize]).collect();
+                    let entry = groups
+                        .entry(key)
+                        .or_insert_with(|| (vec![0u64; sums.len()], 0));
+                    for (s, &c) in entry.0.iter_mut().zip(sums.iter()) {
+                        *s += row[c as usize] as u64;
+                    }
+                    entry.1 += 1;
+                }
+                let mut out = Relation::empty(group_by.len() + sums.len() + 1);
+                let mut keys: Vec<_> = groups.into_iter().collect();
+                keys.sort(); // deterministic output order
+                let mut buf = Vec::with_capacity(out.arity());
+                for (key, (sums_v, count)) in keys {
+                    buf.clear();
+                    buf.extend_from_slice(&key);
+                    buf.extend(sums_v.iter().map(|&s| s as u32));
+                    buf.push(count as u32);
+                    out.push_row(&buf);
+                }
+                out
+            }
+            Plan::Sort {
+                input,
+                by,
+                desc,
+                limit,
+            } => {
+                let rel = self.eval(input, acc);
+                let n = rel.rows() as f64;
+                if n > 1.0 {
+                    acc.ops += n * n.log2() * costs::SORT_PER_ROW_LOG;
+                }
+                let mut rows: Vec<Vec<u32>> = rel.iter().map(|r| r.to_vec()).collect();
+                rows.sort_by_key(|r| r[*by as usize]);
+                if *desc {
+                    rows.reverse();
+                }
+                if let Some(limit) = limit {
+                    rows.truncate(*limit);
+                }
+                let mut out = Relation::empty(rel.arity());
+                for r in rows {
+                    out.push_row(&r);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Acc {
+    device: SimDur,
+    ops: f64,
+    bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assasin_workloads::TpchGen;
+
+    fn provider() -> HostScanProvider {
+        let gen = TpchGen::new(0.001, 11);
+        let mut p = HostScanProvider::new();
+        for id in TableId::ALL {
+            p.add_table(gen.table(id));
+        }
+        p
+    }
+
+    #[test]
+    fn scan_filters_and_projects() {
+        let mut p = provider();
+        let plan = Plan::scan(
+            TableId::Lineitem,
+            vec![Pred::range(4, 1, 10)], // quantity < 10
+            vec![0, 4],
+        );
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert!(r.relation.rows() > 0);
+        assert!(r.relation.iter().all(|row| row[1] < 10));
+        assert!(r.host_time > SimDur::ZERO);
+        assert_eq!(r.device_time, SimDur::ZERO);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference() {
+        let mut p = provider();
+        let plan = Plan::scan(TableId::Orders, vec![], vec![0, 1])
+            .join(Plan::scan(TableId::Customer, vec![], vec![0, 1]), 1, 0);
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        // Every order has exactly one matching customer.
+        let orders = TpchGen::new(0.001, 11).rows(TableId::Orders) as usize;
+        assert_eq!(r.relation.rows(), orders);
+        for row in r.relation.iter() {
+            assert_eq!(row[1], row[2], "join key equality");
+        }
+    }
+
+    #[test]
+    fn agg_counts_and_sums() {
+        let mut p = provider();
+        // Group lineitem by returnflag; sum quantity.
+        let plan = Plan::scan(TableId::Lineitem, vec![], vec![8, 4]).agg(vec![0], vec![1]);
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert!(r.relation.rows() <= 3, "three returnflag values");
+        let total_count: u64 = r.relation.iter().map(|row| row[2] as u64).sum();
+        let li_rows = TpchGen::new(0.001, 11).rows(TableId::Lineitem);
+        assert_eq!(total_count, li_rows);
+    }
+
+    #[test]
+    fn sort_orders_and_limits() {
+        let mut p = provider();
+        let plan = Plan::scan(TableId::Part, vec![], vec![0, 5]).sort(1, true, Some(5));
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert_eq!(r.relation.rows(), 5);
+        let prices: Vec<u32> = r.relation.iter().map(|row| row[1]).collect();
+        assert!(prices.windows(2).all(|w| w[0] >= w[1]), "descending");
+    }
+
+    #[test]
+    fn multi_pred_scan_is_conjunctive() {
+        let mut p = provider();
+        let plan = Plan::scan(
+            TableId::Lineitem,
+            vec![Pred::range(10, 365, 730), Pred::range(6, 3, 7)],
+            vec![10, 6],
+        );
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        for row in r.relation.iter() {
+            assert!((365..730).contains(&row[0]));
+            assert!((3..7).contains(&row[1]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::Plan;
+    use assasin_workloads::{TableId, TpchGen};
+
+    fn provider() -> HostScanProvider {
+        let gen = TpchGen::new(0.001, 31);
+        let mut p = HostScanProvider::new();
+        for id in TableId::ALL {
+            p.add_table(gen.table(id));
+        }
+        p
+    }
+
+    #[test]
+    fn empty_scan_flows_through_joins_and_aggs() {
+        let mut p = provider();
+        // An impossible predicate empties the pipeline without panicking.
+        let plan = Plan::scan(TableId::Orders, vec![Pred::eq(0, u32::MAX - 1)], vec![0, 1])
+            .join(Plan::scan(TableId::Customer, vec![], vec![0]), 1, 0)
+            .agg(vec![0], vec![2])
+            .sort(0, false, Some(10));
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert_eq!(r.relation.rows(), 0);
+        assert_eq!(r.relation.arity(), 3);
+        assert!(r.host_time > SimDur::ZERO, "scan work still counted");
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let mut p = provider();
+        let plan = Plan::scan(TableId::Supplier, vec![], vec![2]).agg(vec![], vec![0]);
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert_eq!(r.relation.rows(), 1, "single global group");
+        let rows = TpchGen::new(0.001, 31).rows(TableId::Supplier) as u32;
+        assert_eq!(r.relation.row(0)[1], rows, "count column");
+    }
+
+    #[test]
+    fn sort_limit_larger_than_input_keeps_everything() {
+        let mut p = provider();
+        let plan = Plan::scan(TableId::Nation, vec![], vec![0]).sort(0, true, Some(1000));
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let r = ex.run(&plan);
+        assert_eq!(r.relation.rows(), 25);
+        assert_eq!(r.relation.row(0)[0], 24, "descending from the top");
+    }
+
+    #[test]
+    fn host_time_grows_with_work() {
+        let mut p = provider();
+        let small = Plan::scan(TableId::Region, vec![], vec![0]);
+        let big = Plan::scan(TableId::Lineitem, vec![], vec![0]);
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let ts = ex.run(&small).host_time;
+        let mut ex = Executor::new(&mut p, HostCpuModel::default());
+        let tb = ex.run(&big).host_time;
+        assert!(tb > ts * 100, "lineitem is ~50000x region");
+    }
+}

@@ -1,0 +1,33 @@
+//! Mini relational engine + host model for end-to-end evaluation.
+//!
+//! The paper's Figure 15 stacks host compute latency on top of
+//! computational-SSD latency for all TPC-H queries under a SparkSQL
+//! implementation that offloads Parse, Select and Filter through the
+//! datasource API (Section VI-A/VI-C). This crate is the SparkSQL
+//! substitute:
+//!
+//! * [`Relation`] / [`Plan`] / [`Executor`] — a small columnar engine with
+//!   scans, hash joins, grouped aggregation and sorting that *really
+//!   executes* the queries over generated TPC-H-like data;
+//! * [`HostCpuModel`] — converts counted operator work into time on the
+//!   paper's host (four cores, eight threads);
+//! * [`ScanProvider`] — the datasource API boundary: the executor asks the
+//!   provider for each base-table scan, and the provider decides where
+//!   Parse/Select/Filter run. [`HostScanProvider`] parses CSV on the host
+//!   (the CPU-only / disaggregated bars); the SSD-offload provider lives in
+//!   the benchmark harness, wrapping `assasin-ssd`;
+//! * [`queries`] — structurally-faithful simplified plans for all 22 TPC-H
+//!   queries over the `assasin-workloads` schemas.
+
+mod exec;
+mod host;
+mod plan;
+pub mod queries;
+mod relation;
+
+pub use exec::{Executor, QueryResult};
+pub use host::{costs, HostCpuModel};
+pub use plan::{Plan, Pred};
+pub use relation::Relation;
+
+pub use exec::{HostScanProvider, ScanOutcome, ScanProvider};

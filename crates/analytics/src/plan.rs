@@ -1,0 +1,245 @@
+//! Logical query plans.
+
+use assasin_workloads::TableId;
+
+/// A range predicate `lo <= col < hi` (unsigned), matching what the Filter
+/// and PSF kernels push down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pred {
+    /// Column index in the base table.
+    pub col: u32,
+    /// Inclusive lower bound.
+    pub lo: u32,
+    /// Exclusive upper bound.
+    pub hi: u32,
+}
+
+impl Pred {
+    /// Convenience constructor.
+    pub fn range(col: u32, lo: u32, hi: u32) -> Pred {
+        Pred { col, lo, hi }
+    }
+
+    /// Equality as a one-wide range.
+    pub fn eq(col: u32, v: u32) -> Pred {
+        Pred {
+            col,
+            lo: v,
+            hi: v + 1,
+        }
+    }
+
+    /// True if `v` satisfies the predicate.
+    pub fn matches(&self, v: u32) -> bool {
+        v >= self.lo && v < self.hi
+    }
+}
+
+/// A logical plan. Column indices in `Join`/`Agg`/`Sort` refer to the
+/// child's *output* columns (post-projection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Base-table scan with conjunctive predicates and projection. This is
+    /// the operator the computational SSD can absorb (Parse + Select +
+    /// Filter).
+    Scan {
+        /// Which table.
+        table: TableId,
+        /// Conjunctive predicates on base-table columns.
+        preds: Vec<Pred>,
+        /// Base-table columns kept, in output order.
+        project: Vec<u32>,
+    },
+    /// Inner hash equi-join; output = left columns ++ right columns.
+    Join {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// Key column in the left output.
+        left_key: u32,
+        /// Key column in the right output.
+        right_key: u32,
+    },
+    /// Hash aggregation; output = group columns ++ sum columns ++ count.
+    Agg {
+        /// Input.
+        input: Box<Plan>,
+        /// Group-by columns (may be empty: single global group).
+        group_by: Vec<u32>,
+        /// Columns summed (wrapping u32 sums).
+        sums: Vec<u32>,
+    },
+    /// Sort by one column, optionally limiting output.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// Sort column.
+        by: u32,
+        /// Descending order.
+        desc: bool,
+        /// Keep only the first `limit` rows.
+        limit: Option<usize>,
+    },
+}
+
+impl Plan {
+    /// Convenience scan constructor.
+    pub fn scan(table: TableId, preds: Vec<Pred>, project: Vec<u32>) -> Plan {
+        Plan::Scan {
+            table,
+            preds,
+            project,
+        }
+    }
+
+    /// Joins `self` with `right`.
+    pub fn join(self, right: Plan, left_key: u32, right_key: u32) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+        }
+    }
+
+    /// Aggregates `self`.
+    pub fn agg(self, group_by: Vec<u32>, sums: Vec<u32>) -> Plan {
+        Plan::Agg {
+            input: Box::new(self),
+            group_by,
+            sums,
+        }
+    }
+
+    /// Sorts `self`.
+    pub fn sort(self, by: u32, desc: bool, limit: Option<usize>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            by,
+            desc,
+            limit,
+        }
+    }
+
+    /// The number of output columns this plan produces.
+    pub fn out_arity(&self) -> usize {
+        match self {
+            Plan::Scan { project, .. } => project.len(),
+            Plan::Join { left, right, .. } => left.out_arity() + right.out_arity(),
+            Plan::Agg { group_by, sums, .. } => group_by.len() + sums.len() + 1,
+            Plan::Sort { input, .. } => input.out_arity(),
+        }
+    }
+
+    /// All base-table scans in the plan (the offloadable work).
+    pub fn scans(&self) -> Vec<&Plan> {
+        let mut out = Vec::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans<'a>(&'a self, out: &mut Vec<&'a Plan>) {
+        match self {
+            Plan::Scan { .. } => out.push(self),
+            Plan::Join { left, right, .. } => {
+                left.collect_scans(out);
+                right.collect_scans(out);
+            }
+            Plan::Agg { input, .. } | Plan::Sort { input, .. } => input.collect_scans(out),
+        }
+    }
+}
+
+impl Plan {
+    /// Statically validates every column reference in the plan tree.
+    /// Returns the output arity on success.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first out-of-range column reference found.
+    pub fn validate(&self) -> Result<usize, String> {
+        match self {
+            Plan::Scan {
+                table,
+                preds,
+                project,
+            } => {
+                let width = table.width() as u32;
+                for p in preds {
+                    if p.col >= width {
+                        return Err(format!("{table}: pred col {} out of {width}", p.col));
+                    }
+                }
+                for &c in project {
+                    if c >= width {
+                        return Err(format!("{table}: project col {c} out of {width}"));
+                    }
+                }
+                Ok(project.len())
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let la = left.validate()?;
+                let ra = right.validate()?;
+                if *left_key as usize >= la {
+                    return Err(format!("join left key {left_key} out of {la}"));
+                }
+                if *right_key as usize >= ra {
+                    return Err(format!("join right key {right_key} out of {ra}"));
+                }
+                Ok(la + ra)
+            }
+            Plan::Agg {
+                input,
+                group_by,
+                sums,
+            } => {
+                let ia = input.validate()?;
+                for &c in group_by.iter().chain(sums.iter()) {
+                    if c as usize >= ia {
+                        return Err(format!("agg col {c} out of {ia}"));
+                    }
+                }
+                Ok(group_by.len() + sums.len() + 1)
+            }
+            Plan::Sort { input, by, .. } => {
+                let ia = input.validate()?;
+                if *by as usize >= ia {
+                    return Err(format!("sort col {by} out of {ia}"));
+                }
+                Ok(ia)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_semantics() {
+        let p = Pred::range(0, 10, 20);
+        assert!(p.matches(10));
+        assert!(p.matches(19));
+        assert!(!p.matches(20));
+        assert!(Pred::eq(1, 5).matches(5));
+        assert!(!Pred::eq(1, 5).matches(6));
+    }
+
+    #[test]
+    fn arity_propagates() {
+        let s1 = Plan::scan(TableId::Orders, vec![], vec![0, 1]);
+        let s2 = Plan::scan(TableId::Customer, vec![], vec![0]);
+        let j = s1.join(s2, 1, 0);
+        assert_eq!(j.out_arity(), 3);
+        let a = j.agg(vec![0], vec![2]);
+        assert_eq!(a.out_arity(), 3); // group + sum + count
+        assert_eq!(a.scans().len(), 2);
+    }
+}

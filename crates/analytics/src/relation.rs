@@ -1,0 +1,126 @@
+//! Row-major intermediate relations.
+
+use std::fmt;
+
+/// An intermediate result: rows of `u32` fields, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    data: Vec<u32>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero arity.
+    pub fn empty(arity: usize) -> Self {
+        assert!(arity > 0, "relations need at least one column");
+        Relation {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// Wraps row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of rows.
+    pub fn new(arity: usize, data: Vec<u32>) -> Self {
+        assert!(arity > 0, "relations need at least one column");
+        assert_eq!(data.len() % arity, 0, "partial row");
+        Relation { arity, data }
+    }
+
+    /// Deserializes from the little-endian binary the kernels emit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a whole number of rows.
+    pub fn from_binary(arity: usize, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len() % (arity * 4), 0, "partial row");
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect();
+        Relation::new(arity, data)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// One row.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push_row(&mut self, row: &[u32]) {
+        assert_eq!(row.len(), self.arity, "arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Size in bytes when materialized.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{} rows x {} cols]", self.rows(), self.arity)?;
+        for row in self.iter().take(10) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.rows() > 10 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut r = Relation::empty(2);
+        r.push_row(&[1, 2]);
+        r.push_row(&[3, 4]);
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.row(1), &[3, 4]);
+        assert_eq!(r.bytes(), 16);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let r = Relation::new(3, vec![1, 2, 3, 4, 5, 6]);
+        let bytes: Vec<u8> = r.iter().flatten().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(Relation::from_binary(3, &bytes), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        Relation::empty(2).push_row(&[1]);
+    }
+}

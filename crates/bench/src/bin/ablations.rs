@@ -1,0 +1,6 @@
+//! Runs the design-choice ablation sweeps.
+use assasin_bench::{experiments::ablations, Scale};
+
+fn main() {
+    println!("{}", ablations::run(&Scale::from_env()));
+}

@@ -1,0 +1,47 @@
+//! Runs the full evaluation (every table and figure) and writes text +
+//! JSON reports under `reports/`.
+use assasin_bench::experiments::*;
+use assasin_bench::Scale;
+use std::fs;
+use std::time::Instant;
+
+fn save(name: &str, text: &str, json: &serde_json::Value) {
+    fs::create_dir_all("reports").expect("reports dir");
+    fs::write(format!("reports/{name}.txt"), text).expect("write text report");
+    fs::write(
+        format!("reports/{name}.json"),
+        serde_json::to_string_pretty(json).expect("serialize"),
+    )
+    .expect("write json report");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    macro_rules! run {
+        ($name:literal, $report:expr) => {{
+            let started = Instant::now();
+            let r = $report;
+            let text = r.to_string();
+            println!("{text}");
+            save($name, &text, &serde_json::to_value(&r).expect("serializable"));
+            eprintln!("[{}] done in {:.1}s", $name, started.elapsed().as_secs_f64());
+            r
+        }};
+    }
+
+    run!("table02", table02::run(&scale));
+    run!("table04", table04::run());
+    run!("fig05", fig05::run(&scale));
+    run!("fig13", fig13::run(&scale));
+    run!("fig14", fig14::run(&scale));
+    run!("fig15", fig15::run(&scale));
+    run!("fig16", fig16::run(&scale));
+    run!("fig19", fig19::run(&scale));
+    run!("fig20", fig20::run());
+    let f21 = run!("fig21", fig21::run(&scale));
+    run!("fig22", fig22::run(&f21));
+    run!("table05", table05::run());
+    run!("ablations", ablations::run(&scale));
+    eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Reproduces the Section III motivating example and Figure 5.
+use assasin_bench::{experiments::fig05, Scale};
+
+fn main() {
+    println!("{}", fig05::run(&Scale::from_env()));
+}

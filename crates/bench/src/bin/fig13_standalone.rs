@@ -1,0 +1,6 @@
+//! Reproduces Figure 13: standalone offloaded-function throughput.
+use assasin_bench::{experiments::fig13, Scale};
+
+fn main() {
+    println!("{}", fig13::run(&Scale::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 14: the Parse-Select-Filter pipeline offload.
+use assasin_bench::{experiments::fig14, Scale};
+
+fn main() {
+    println!("{}", fig14::run(&Scale::from_env()));
+}

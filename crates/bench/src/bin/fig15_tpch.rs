@@ -1,0 +1,6 @@
+//! Reproduces Figure 15: end-to-end TPC-H latency across 22 queries.
+use assasin_bench::{experiments::fig15, Scale};
+
+fn main() {
+    println!("{}", fig15::run(&Scale::from_env()));
+}

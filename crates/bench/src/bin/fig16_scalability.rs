@@ -1,0 +1,6 @@
+//! Reproduces Figures 16-18: scalability, utilization, channel balance.
+use assasin_bench::{experiments::fig16, Scale};
+
+fn main() {
+    println!("{}", fig16::run(&Scale::from_env()));
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 18 (channel balance; part of the scalability sweep).
+use assasin_bench::{experiments::fig16, Scale};
+
+fn main() {
+    let r = fig16::run(&Scale::from_env());
+    println!("Figure 18: per-channel GB/s at 8 cores");
+    for (i, g) in r.channel_gbps.iter().enumerate() {
+        println!("  ch{i}: {g:.3} GB/s");
+    }
+    println!("channel skew = {:.4}", r.channel_skew());
+}

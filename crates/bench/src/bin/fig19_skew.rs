@@ -1,0 +1,6 @@
+//! Reproduces the Section VI-E skew-sensitivity experiment.
+use assasin_bench::{experiments::fig19, Scale};
+
+fn main() {
+    println!("{}", fig19::run(&Scale::from_env()));
+}

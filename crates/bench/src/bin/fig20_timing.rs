@@ -1,0 +1,6 @@
+//! Reproduces Figure 20: memory-structure access timing.
+use assasin_bench::experiments::fig20;
+
+fn main() {
+    println!("{}", fig20::run());
+}

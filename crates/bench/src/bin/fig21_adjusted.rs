@@ -1,0 +1,6 @@
+//! Reproduces Figure 21: timing-adjusted throughput.
+use assasin_bench::{experiments::fig21, Scale};
+
+fn main() {
+    println!("{}", fig21::run(&Scale::from_env()));
+}

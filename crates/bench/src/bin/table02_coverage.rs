@@ -1,0 +1,6 @@
+//! Runs every Table II function class on the AssasinSb SSD.
+use assasin_bench::{experiments::table02, Scale};
+
+fn main() {
+    println!("{}", table02::run(&Scale::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Table IV: engine configurations.
+use assasin_bench::experiments::table04;
+
+fn main() {
+    println!("{}", table04::run());
+}

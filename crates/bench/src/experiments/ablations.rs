@@ -1,0 +1,170 @@
+//! Ablation studies of ASSASIN's design choices (the knobs Section V
+//! fixes): streambuffer ring depth P, crossbar port bandwidth, firmware
+//! polling period, and — for the Baseline comparison — the DRAM bandwidth
+//! the memory wall is made of.
+
+use crate::bundles::stat_bundle;
+use crate::report;
+use crate::runner::offload;
+use crate::Scale;
+use assasin_core::EngineKind;
+use assasin_sim::SimDur;
+use assasin_ssd::{Ssd, SsdConfig};
+use serde::Serialize;
+use std::fmt;
+
+/// One (knob value, throughput) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Knob value (unit depends on the sweep).
+    pub value: f64,
+    /// Stat throughput, GB/s.
+    pub gbps: f64,
+}
+
+/// The ablation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationReport {
+    /// Streambuffer depth P sweep (AssasinSb).
+    pub sb_pages: Vec<Point>,
+    /// Crossbar port bandwidth sweep in GB/s (AssasinSb).
+    pub crossbar_bw: Vec<Point>,
+    /// Firmware poll period sweep in µs (AssasinSb).
+    pub firmware_poll_us: Vec<Point>,
+    /// DRAM bandwidth sweep in GB/s (Baseline) — the memory wall itself.
+    pub baseline_dram_bw: Vec<Point>,
+    /// DRAM bandwidth sweep in GB/s (AssasinSb) — should be flat.
+    pub assasin_dram_bw: Vec<Point>,
+}
+
+fn run_stat(cfg: SsdConfig, bytes: usize) -> f64 {
+    let data = vec![
+        (0..bytes)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9) >> 11) as u8)
+            .collect::<Vec<u8>>(),
+    ];
+    let mut ssd = Ssd::new(cfg);
+    offload(&mut ssd, stat_bundle(), &data)
+        .expect("stat offload")
+        .throughput_gbps()
+}
+
+/// Runs all sweeps.
+pub fn run(scale: &Scale) -> AblationReport {
+    let n = scale.standalone_bytes;
+    let base = || SsdConfig::engine_config(EngineKind::AssasinSb);
+
+    let sb_pages = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&p| {
+            let mut cfg = base();
+            cfg.sb_pages = Some(p);
+            Point {
+                value: p as f64,
+                gbps: run_stat(cfg, n),
+            }
+        })
+        .collect();
+
+    let crossbar_bw = [0.5e9, 1.0e9, 2.0e9, 8.0e9]
+        .iter()
+        .map(|&bw| {
+            let mut cfg = base();
+            cfg.crossbar_port_bw = bw;
+            Point {
+                value: bw / 1e9,
+                gbps: run_stat(cfg, n),
+            }
+        })
+        .collect();
+
+    let firmware_poll_us = [0u64, 1, 5, 20]
+        .iter()
+        .map(|&us| {
+            let mut cfg = base();
+            cfg.firmware_poll = SimDur::from_us(us);
+            Point {
+                value: us as f64,
+                gbps: run_stat(cfg, n),
+            }
+        })
+        .collect();
+
+    let dram_sweep = |engine: EngineKind| {
+        [4.0e9, 8.0e9, 16.0e9, 32.0e9]
+            .iter()
+            .map(|&bw| {
+                let mut cfg = SsdConfig::engine_config(engine);
+                cfg.dram_bw = bw;
+                Point {
+                    value: bw / 1e9,
+                    gbps: run_stat(cfg, n),
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+
+    AblationReport {
+        sb_pages,
+        crossbar_bw,
+        firmware_poll_us,
+        baseline_dram_bw: dram_sweep(EngineKind::Baseline),
+        assasin_dram_bw: dram_sweep(EngineKind::AssasinSb),
+    }
+}
+
+fn fmt_sweep(f: &mut fmt::Formatter<'_>, title: &str, unit: &str, pts: &[Point]) -> fmt::Result {
+    writeln!(f, "{title}")?;
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![format!("{}", p.value), report::gbps(p.gbps)])
+        .collect();
+    write!(f, "{}", report::table(&[unit, "GB/s"], &rows))
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations (Stat kernel, 8 engines)")?;
+        fmt_sweep(f, "\nstreambuffer ring depth (Table IV picks P=2):", "P", &self.sb_pages)?;
+        fmt_sweep(f, "\ncrossbar port bandwidth:", "GB/s", &self.crossbar_bw)?;
+        fmt_sweep(f, "\nfirmware poll period:", "us", &self.firmware_poll_us)?;
+        fmt_sweep(
+            f,
+            "\nSSD DRAM bandwidth, Baseline (the memory wall):",
+            "GB/s",
+            &self.baseline_dram_bw,
+        )?;
+        fmt_sweep(
+            f,
+            "\nSSD DRAM bandwidth, AssasinSb (decoupled from DRAM):",
+            "GB/s",
+            &self.assasin_dram_bw,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_shapes() {
+        let mut s = Scale::test_scale();
+        s.standalone_bytes = 1 << 20;
+        let r = run(&s);
+        // P=2 is enough: deepening the ring adds nothing.
+        let p2 = r.sb_pages.iter().find(|p| p.value == 2.0).unwrap().gbps;
+        let p8 = r.sb_pages.iter().find(|p| p.value == 8.0).unwrap().gbps;
+        assert!(p8 < p2 * 1.15, "P=8 {p8} vs P=2 {p2}");
+        // A starved crossbar port caps the whole SSD.
+        let x05 = r.crossbar_bw.iter().find(|p| p.value == 0.5).unwrap().gbps;
+        let x8 = r.crossbar_bw.iter().find(|p| p.value == 8.0).unwrap().gbps;
+        assert!(x8 > 1.4 * x05, "port bw matters: {x05} -> {x8}");
+        // Baseline chases DRAM bandwidth; ASSASIN ignores it.
+        let b = &r.baseline_dram_bw;
+        assert!(b.last().unwrap().gbps > 1.5 * b.first().unwrap().gbps);
+        let a = &r.assasin_dram_bw;
+        let (lo, hi) = (a.first().unwrap().gbps, a.last().unwrap().gbps);
+        assert!((hi - lo).abs() / hi < 0.05, "ASSASIN flat: {lo} vs {hi}");
+    }
+}

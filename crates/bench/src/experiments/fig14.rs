@@ -1,0 +1,145 @@
+//! Figure 14: the offloaded Parse-Select-Filter pipeline (Section VI-C).
+//!
+//! PSF over TPC-H lineitem flat files. Paper shape: UDP ~1.3x over
+//! Baseline (multiway dispatch suits parsing), Prefetch ~1.15x, AssasinSp
+//! matches UDP without the exotic ISA, and AssasinSb/Sb$ add ~18% more for
+//! 1.5–1.8x total.
+
+use crate::bundles::psf_bundle;
+use crate::report;
+use crate::runner::offload_fresh;
+use crate::Scale;
+use assasin_core::EngineKind;
+use assasin_kernels::query::PsfParams;
+use assasin_workloads::{lineitem_cols, TableId, TpchGen};
+use serde::Serialize;
+use std::fmt;
+
+/// The offloaded PSF pipeline parameters: a one-year shipdate window with
+/// a five-column projection (a TPC-H Q6-flavored scan).
+pub fn psf_params() -> PsfParams {
+    PsfParams {
+        fields: TableId::Lineitem.width() as u32,
+        pred_field: lineitem_cols::SHIPDATE,
+        lo: 365,
+        hi: 730,
+        keep: vec![
+            0,
+            lineitem_cols::QUANTITY,
+            lineitem_cols::EXTENDEDPRICE,
+            lineitem_cols::DISCOUNT,
+            lineitem_cols::SHIPDATE,
+        ],
+    }
+}
+
+/// One engine's PSF measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Entry {
+    /// Engine label.
+    pub engine: String,
+    /// Input (CSV) throughput, GB/s.
+    pub gbps: f64,
+    /// Speedup over Baseline.
+    pub speedup: f64,
+}
+
+/// The Figure 14 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Report {
+    /// Whether Section VI-F timing adjustment was applied.
+    pub adjusted: bool,
+    /// CSV bytes scanned.
+    pub input_bytes: u64,
+    /// Entries in Table IV engine order.
+    pub entries: Vec<Entry>,
+}
+
+/// Runs the PSF sweep (shared by Figures 14 and 21).
+pub fn run_with(scale: &Scale, adjusted: bool) -> Fig14Report {
+    let gen = TpchGen::new(scale.sf, scale.seed);
+    let csv = gen.table(TableId::Lineitem).to_csv();
+    let input_bytes = csv.len() as u64;
+    let mut entries = Vec::new();
+    let mut baseline = 0.0;
+    for engine in EngineKind::ALL {
+        let r = offload_fresh(engine, adjusted, psf_bundle(psf_params()), std::slice::from_ref(&csv))
+            .unwrap_or_else(|e| panic!("psf on {engine:?}: {e}"));
+        let gbps = r.throughput_gbps();
+        if engine == EngineKind::Baseline {
+            baseline = gbps;
+        }
+        entries.push(Entry {
+            engine: engine.label().to_string(),
+            gbps,
+            speedup: if baseline > 0.0 { gbps / baseline } else { 0.0 },
+        });
+    }
+    Fig14Report {
+        adjusted,
+        input_bytes,
+        entries,
+    }
+}
+
+/// Runs Figure 14 (nominal timing).
+pub fn run(scale: &Scale) -> Fig14Report {
+    run_with(scale, false)
+}
+
+impl Fig14Report {
+    /// Speedup of one engine over Baseline.
+    pub fn speedup(&self, engine: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.engine == engine)
+            .map(|e| e.speedup)
+    }
+}
+
+impl fmt::Display for Fig14Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 14: PSF pipeline over lineitem flat file ({} MiB{})",
+            self.input_bytes >> 20,
+            if self.adjusted { ", timing-adjusted" } else { "" }
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.engine.clone(),
+                    report::gbps(e.gbps),
+                    report::ratio(e.speedup),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(&["engine", "GB/s", "vs Baseline"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_shape_holds() {
+        let r = run(&Scale::test_scale());
+        let udp = r.speedup("UDP").unwrap();
+        let sp = r.speedup("AssasinSp").unwrap();
+        let sb = r.speedup("AssasinSb").unwrap();
+        // UDP accelerates branchy parsing over Baseline.
+        assert!(udp > 1.1, "udp {udp}");
+        // AssasinSp is competitive with UDP without ISA exotica.
+        assert!(sp > 1.0 && (sp / udp) > 0.7, "sp {sp} vs udp {udp}");
+        // The stream ISA adds more on top.
+        assert!(sb > sp, "sb {sb} vs sp {sp}");
+        assert!(sb > 1.3, "sb {sb}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 15: end-to-end TPC-H latency (Section VI-C).
+//!
+//! All 22 queries, three system configurations: pure host CPU
+//! (disaggregated storage), Baseline computational SSD, and AssasinSb.
+//! Paper shape: Baseline offload is ~1.9x (GeoMean) over CPU-only, and
+//! AssasinSb adds 1.1–1.5x (GeoMean 1.3x) on top.
+
+use crate::provider::{CpuOnlyProvider, SsdScanProvider};
+use crate::report;
+use crate::Scale;
+use assasin_analytics::{queries, Executor, HostCpuModel, ScanProvider};
+use assasin_core::EngineKind;
+use assasin_sim::stats::geomean;
+use assasin_sim::SimDur;
+use assasin_workloads::TpchGen;
+use serde::Serialize;
+use std::fmt;
+
+/// One query's end-to-end latencies (milliseconds of simulated time).
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryRow {
+    /// TPC-H query number.
+    pub query: u32,
+    /// Pure-CPU latency (ms).
+    pub cpu_only_ms: f64,
+    /// Baseline-offload latency (ms).
+    pub baseline_ms: f64,
+    /// AssasinSb-offload latency (ms).
+    pub assasin_ms: f64,
+}
+
+impl QueryRow {
+    /// Baseline speedup over CPU-only.
+    pub fn baseline_vs_cpu(&self) -> f64 {
+        self.cpu_only_ms / self.baseline_ms
+    }
+    /// AssasinSb speedup over Baseline.
+    pub fn assasin_vs_baseline(&self) -> f64 {
+        self.baseline_ms / self.assasin_ms
+    }
+}
+
+/// The Figure 15 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Report {
+    /// TPC-H scale factor used.
+    pub sf: f64,
+    /// Per-query rows.
+    pub rows: Vec<QueryRow>,
+    /// GeoMean of Baseline-over-CPU speedups (paper: ~1.9x).
+    pub geomean_baseline_vs_cpu: f64,
+    /// GeoMean of AssasinSb-over-Baseline speedups (paper: ~1.3x).
+    pub geomean_assasin_vs_baseline: f64,
+}
+
+fn run_mode(provider: &mut dyn ScanProvider, q: u32) -> SimDur {
+    let plan = queries::plan(q);
+    let mut ex = Executor::new(provider, HostCpuModel::paper_host());
+    ex.run(&plan).total()
+}
+
+/// Runs the experiment. Queries can be limited (tests) via `max_q`.
+pub fn run_queries(scale: &Scale, max_q: u32) -> Fig15Report {
+    let gen = TpchGen::new(scale.sf, scale.seed);
+    let mut cpu = CpuOnlyProvider::new(&gen);
+    let mut base = SsdScanProvider::new(EngineKind::Baseline, &gen);
+    let mut sb = SsdScanProvider::new(EngineKind::AssasinSb, &gen);
+    let mut rows = Vec::new();
+    for q in queries::all_ids().filter(|&q| q <= max_q) {
+        let cpu_ms = run_mode(&mut cpu, q).as_secs_f64() * 1e3;
+        let base_ms = run_mode(&mut base, q).as_secs_f64() * 1e3;
+        let sb_ms = run_mode(&mut sb, q).as_secs_f64() * 1e3;
+        rows.push(QueryRow {
+            query: q,
+            cpu_only_ms: cpu_ms,
+            baseline_ms: base_ms,
+            assasin_ms: sb_ms,
+        });
+    }
+    let b_vs_c: Vec<f64> = rows.iter().map(|r| r.baseline_vs_cpu()).collect();
+    let a_vs_b: Vec<f64> = rows.iter().map(|r| r.assasin_vs_baseline()).collect();
+    Fig15Report {
+        sf: scale.sf,
+        geomean_baseline_vs_cpu: geomean(&b_vs_c).unwrap_or(0.0),
+        geomean_assasin_vs_baseline: geomean(&a_vs_b).unwrap_or(0.0),
+        rows,
+    }
+}
+
+/// Runs all 22 queries.
+pub fn run(scale: &Scale) -> Fig15Report {
+    run_queries(scale, 22)
+}
+
+impl fmt::Display for Fig15Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 15: TPC-H end-to-end latency (SF {})", self.sf)?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("Q{}", r.query),
+                    format!("{:.3}", r.cpu_only_ms),
+                    format!("{:.3}", r.baseline_ms),
+                    format!("{:.3}", r.assasin_ms),
+                    report::ratio(r.baseline_vs_cpu()),
+                    report::ratio(r.assasin_vs_baseline()),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(
+                &[
+                    "query",
+                    "CPU-only ms",
+                    "Baseline ms",
+                    "AssasinSb ms",
+                    "Base/CPU",
+                    "Sb/Base"
+                ],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "GeoMean: Baseline vs CPU-only {} (paper ~1.9x); AssasinSb vs Baseline {} (paper ~1.3x, range 1.1-1.5x)",
+            report::ratio(self.geomean_baseline_vs_cpu),
+            report::ratio(self.geomean_assasin_vs_baseline)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_helps_and_assasin_helps_more() {
+        // A handful of queries at tiny scale to keep CI fast.
+        let r = run_queries(&Scale::test_scale(), 6);
+        assert!(!r.rows.is_empty());
+        assert!(
+            r.geomean_baseline_vs_cpu > 1.2,
+            "offload must beat CPU-only: {}",
+            r.geomean_baseline_vs_cpu
+        );
+        assert!(
+            r.geomean_assasin_vs_baseline > 1.02,
+            "ASSASIN must beat Baseline end-to-end: {}",
+            r.geomean_assasin_vs_baseline
+        );
+        // End-to-end gains are muted relative to in-SSD gains (host work
+        // stacks on top) — the paper's 1.5-1.8x becomes 1.1-1.5x.
+        assert!(r.geomean_assasin_vs_baseline < 1.8);
+    }
+}

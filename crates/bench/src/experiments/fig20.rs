@@ -1,0 +1,87 @@
+//! Figure 20: memory-structure timing (Section VI-F).
+
+use crate::report;
+use assasin_power::timing::{clock_plan, fig20_series, TimingPoint};
+use serde::Serialize;
+use std::fmt;
+
+/// The Figure 20 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig20Report {
+    /// Access-time points.
+    pub points: Vec<Point>,
+    /// Streambuffer-based clock period, ps (Section VI-F: 890).
+    pub sb_period_ps: u64,
+    /// Scratchpad-based clock period, ps (1000, with 2-cycle accesses).
+    pub sp_period_ps: u64,
+}
+
+/// Serializable mirror of [`TimingPoint`].
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Structure label.
+    pub label: String,
+    /// Access time, ns.
+    pub access_ns: f64,
+    /// Cycles at 1 GHz.
+    pub cycles: u32,
+}
+
+/// Runs (computes) the figure.
+pub fn run() -> Fig20Report {
+    let points = fig20_series()
+        .into_iter()
+        .map(|TimingPoint { label, access_ns, cycles_at_1ghz, .. }| Point {
+            label,
+            access_ns,
+            cycles: cycles_at_1ghz,
+        })
+        .collect();
+    Fig20Report {
+        points,
+        sb_period_ps: clock_plan(true).period_ps,
+        sp_period_ps: clock_plan(false).period_ps,
+    }
+}
+
+impl fmt::Display for Fig20Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 20: memory-structure access timing (SAED14-calibrated model)")?;
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.2}", p.access_ns),
+                    p.cycles.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(&["structure", "access ns", "cycles @1GHz"], &rows)
+        )?;
+        writeln!(
+            f,
+            "clock: streambuffer design {} ps (11% faster); scratchpad design {} ps with 2-cycle SP access",
+            self.sb_period_ps, self.sp_period_ps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_the_paper_anchors() {
+        let r = run();
+        assert_eq!(r.sb_period_ps, 890);
+        let sb64 = r.points.iter().find(|p| p.label.contains("SB head (64B)")).unwrap();
+        assert!(sb64.access_ns <= 0.55);
+        let sp = r.points.iter().find(|p| p.label.contains("SP 64KB (8B)")).unwrap();
+        assert_eq!(sp.cycles, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 21: throughput after the Section VI-F timing adjustment.
+//!
+//! The Figure 13 and 14 sweeps re-run with adjusted clocks: AssasinSb(\$)
+//! at a 0.89 ns period, AssasinSp with 2-cycle scratchpads. Paper shape:
+//! Sb improves to 1.5–2.4x over Baseline; Sp degrades to 1.1–1.4x.
+
+use crate::experiments::{fig13, fig14};
+use crate::Scale;
+use assasin_sim::stats::geomean;
+use serde::Serialize;
+use std::fmt;
+
+/// The Figure 21 report: adjusted standalone + PSF sweeps.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig21Report {
+    /// Adjusted standalone results.
+    pub standalone: fig13::Fig13Report,
+    /// Adjusted PSF results.
+    pub psf: fig14::Fig14Report,
+    /// GeoMean AssasinSb speedup across all five workloads (the Figure 22
+    /// input).
+    pub sb_geomean_speedup: f64,
+    /// GeoMean AssasinSp speedup.
+    pub sp_geomean_speedup: f64,
+    /// GeoMean UDP speedup.
+    pub udp_geomean_speedup: f64,
+}
+
+/// Runs both adjusted sweeps.
+pub fn run(scale: &Scale) -> Fig21Report {
+    let standalone = fig13::run_with(scale, true);
+    let psf = fig14::run_with(scale, true);
+    let collect = |engine: &str| {
+        let mut v: Vec<f64> = standalone
+            .functions
+            .iter()
+            .filter_map(|f| standalone.speedup(&f.name, engine))
+            .collect();
+        if let Some(s) = psf.speedup(engine) {
+            v.push(s);
+        }
+        geomean(&v).unwrap_or(0.0)
+    };
+    Fig21Report {
+        sb_geomean_speedup: collect("AssasinSb"),
+        sp_geomean_speedup: collect("AssasinSp"),
+        udp_geomean_speedup: collect("UDP"),
+        standalone,
+        psf,
+    }
+}
+
+impl fmt::Display for Fig21Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 21: timing-adjusted throughput")?;
+        writeln!(f, "{}", self.standalone)?;
+        writeln!(f, "{}", self.psf)?;
+        writeln!(
+            f,
+            "GeoMean speedups over Baseline: AssasinSb {:.2}x (paper band 1.5-2.4x across workloads), AssasinSp {:.2}x (paper 1.1-1.4x), UDP {:.2}x",
+            self.sb_geomean_speedup, self.sp_geomean_speedup, self.udp_geomean_speedup
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjustment_helps_sb_and_hurts_sp() {
+        let scale = Scale::test_scale();
+        let nominal = fig13::run_with(&scale, false);
+        let adjusted = fig13::run_with(&scale, true);
+        // On memory-bound functions Sb gains from the faster clock.
+        let n = nominal.speedup("raid6", "AssasinSb").unwrap();
+        let a = adjusted.speedup("raid6", "AssasinSb").unwrap();
+        assert!(a > n, "adjusted {a} vs nominal {n}");
+        // Sp pays the 2-cycle scratchpad on its staging loads.
+        let n = nominal.speedup("raid6", "AssasinSp").unwrap();
+        let a = adjusted.speedup("raid6", "AssasinSp").unwrap();
+        assert!(a < n, "adjusted {a} vs nominal {n}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 22: power and area efficiency (Section VI-G).
+//!
+//! Speedups come from the timing-adjusted runs (Figure 21); budgets from
+//! the component models (Table V). Paper shape: AssasinSb reaches ~2.0x
+//! power efficiency and ~3.2x area efficiency over Baseline and beats the
+//! UDP accelerator.
+
+use crate::experiments::fig21::Fig21Report;
+use crate::report;
+use assasin_core::EngineKind;
+use assasin_power::efficiency::figure22;
+use serde::Serialize;
+use std::fmt;
+
+/// One engine's efficiency entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct Entry {
+    /// Engine label.
+    pub engine: String,
+    /// Speedup over Baseline (GeoMean over workloads, adjusted timing).
+    pub speedup: f64,
+    /// Power in mW per engine.
+    pub power_mw: f64,
+    /// Area in mm² per engine.
+    pub area_mm2: f64,
+    /// Speedup per unit power vs Baseline.
+    pub power_efficiency: f64,
+    /// Speedup per unit area vs Baseline.
+    pub area_efficiency: f64,
+}
+
+/// The Figure 22 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig22Report {
+    /// Entries for Baseline, UDP, AssasinSp, AssasinSb.
+    pub entries: Vec<Entry>,
+}
+
+/// Computes the figure from adjusted-timing speedups.
+pub fn run(fig21: &Fig21Report) -> Fig22Report {
+    let speedups = [
+        (EngineKind::Baseline, 1.0),
+        (EngineKind::Udp, fig21.udp_geomean_speedup),
+        (EngineKind::AssasinSp, fig21.sp_geomean_speedup),
+        (EngineKind::AssasinSb, fig21.sb_geomean_speedup),
+    ];
+    let entries = figure22(&speedups)
+        .into_iter()
+        .map(|e| {
+            let (p, a) = assasin_power::components::engine_budget(e.kind);
+            Entry {
+                engine: e.kind.label().to_string(),
+                speedup: e.speedup,
+                power_mw: p,
+                area_mm2: a,
+                power_efficiency: e.power_efficiency,
+                area_efficiency: e.area_efficiency,
+            }
+        })
+        .collect();
+    Fig22Report { entries }
+}
+
+impl Fig22Report {
+    /// Finds one engine's entry.
+    pub fn entry(&self, engine: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.engine == engine)
+    }
+}
+
+impl fmt::Display for Fig22Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 22: efficiency relative to Baseline (adjusted speedups)")?;
+        let rows: Vec<Vec<String>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.engine.clone(),
+                    report::ratio(e.speedup),
+                    format!("{:.1}", e.power_mw),
+                    format!("{:.3}", e.area_mm2),
+                    report::ratio(e.power_efficiency),
+                    report::ratio(e.area_efficiency),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(
+                &["engine", "speedup", "mW", "mm2", "power eff", "area eff"],
+                &rows
+            )
+        )?;
+        writeln!(f, "paper: AssasinSb ~2.0x power and ~3.2x area efficiency, above UDP")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig21;
+    use crate::Scale;
+
+    #[test]
+    fn assasin_beats_baseline_and_udp_on_efficiency() {
+        // Medium input sizes: large enough to amortize per-request startup
+        // (which the analytical UDP path does not pay), small enough for CI.
+        let scale = Scale {
+            standalone_bytes: 1 << 20,
+            aes_bytes: 64 << 10,
+            sf: 0.004,
+            scalability_bytes: 1 << 20,
+            seed: 0xA55A,
+        };
+        let f21 = fig21::run(&scale);
+        let r = run(&f21);
+        let sb = r.entry("AssasinSb").unwrap();
+        assert!(sb.power_efficiency > 1.3, "power eff {}", sb.power_efficiency);
+        assert!(sb.area_efficiency > 2.0, "area eff {}", sb.area_efficiency);
+        let udp = r.entry("UDP").unwrap();
+        assert!(
+            sb.power_efficiency > udp.power_efficiency,
+            "ASSASIN with general-purpose cores must beat the UDP accelerator"
+        );
+        assert!(sb.area_efficiency > udp.area_efficiency);
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod fig05;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod table02;
+pub mod table04;
+pub mod table05;

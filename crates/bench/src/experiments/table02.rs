@@ -1,0 +1,232 @@
+//! Table II in executable form: every computational-storage function class
+//! the survey maps to stream computing, offloaded to the AssasinSb SSD.
+//!
+//! For each kernel: throughput, DRAM traffic per byte (the memory-wall
+//! witness), function-state footprint in the scratchpad, and the data
+//! reduction/expansion across the storage interface.
+
+use crate::bundles;
+use crate::report;
+use crate::runner::{offload, ssd_with};
+use crate::Scale;
+use assasin_core::EngineKind;
+use assasin_kernels::{compress, dedup, nn};
+use assasin_ssd::KernelBundle;
+use serde::Serialize;
+use std::fmt;
+
+/// One function-class row.
+#[derive(Debug, Clone, Serialize)]
+pub struct FunctionRow {
+    /// Kernel name.
+    pub name: String,
+    /// Table II function class.
+    pub class: String,
+    /// Function-state bytes preloaded in the scratchpad.
+    pub state_bytes: usize,
+    /// Input throughput on AssasinSb, GB/s.
+    pub gbps: f64,
+    /// DRAM bytes per byte moved (input + output): ~0 when both paths
+    /// bypass DRAM, ~1 when only results stage through it, ≥2 on a
+    /// Baseline-style architecture.
+    pub dram_per_byte: f64,
+    /// Output bytes per input byte (reduction < 1 < expansion).
+    pub out_per_in: f64,
+}
+
+/// The Table II coverage report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table02Report {
+    /// One row per kernel.
+    pub rows: Vec<FunctionRow>,
+}
+
+fn pattern(n: usize, salt: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(salt) >> 9) as u8)
+        .collect()
+}
+
+fn dedupable(n: usize) -> Vec<u8> {
+    // A small working set of unique blocks cycled repeatedly, so every
+    // engine's partition contains duplicates (dedup state is per-engine,
+    // as in sharded inline dedup).
+    let block = dedup::BLOCK_BYTES as usize;
+    let uniques = 32usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() + block <= n {
+        let u = i % uniques;
+        let mut b = pattern(block, u as u64 + 1000);
+        b[0] = u as u8;
+        out.extend_from_slice(&b);
+        i += 1;
+    }
+    out
+}
+
+fn compressible(n: usize) -> Vec<u8> {
+    let phrase = b"computational storage wants stream computing; ";
+    let mut v = Vec::with_capacity(n);
+    while v.len() < n {
+        v.extend_from_slice(phrase);
+    }
+    v.truncate(n - n % 8);
+    v
+}
+
+/// Runs every kernel on the AssasinSb SSD.
+pub fn run(scale: &Scale) -> Table02Report {
+    let n = scale.standalone_bytes.min(2 << 20);
+    let model = nn::Model::demo(0xA55A);
+    let packed = compress::compress(&compressible(n));
+    let expansion = n as f64 / packed.len() as f64 + 1.0;
+    let cases: Vec<(&str, &str, KernelBundle, Vec<Vec<u8>>)> = vec![
+        (
+            "stat",
+            "Statistics (accumulators)",
+            bundles::stat_bundle(),
+            vec![pattern(n, 1)],
+        ),
+        (
+            "raid4",
+            "Erasure coding (GF table)",
+            bundles::raid4_bundle(),
+            (0..4).map(|s| pattern(n / 4, s)).collect(),
+        ),
+        (
+            "raid6",
+            "Erasure coding (GF table)",
+            bundles::raid6_bundle(),
+            (0..4).map(|s| pattern(n / 8, 10 + s)).collect(),
+        ),
+        (
+            "aes128",
+            "Cryptography (keys)",
+            bundles::aes_bundle(),
+            vec![pattern(scale.aes_bytes.min(256 << 10), 20)],
+        ),
+        (
+            "psf",
+            "Parse+Select+Filter (state machine)",
+            bundles::psf_bundle(crate::experiments::fig14::psf_params()),
+            vec![{
+                let gen = assasin_workloads::TpchGen::new(scale.sf, scale.seed);
+                gen.table(assasin_workloads::TableId::Lineitem).to_csv()
+            }],
+        ),
+        (
+            "dedup",
+            "Deduplicate (block metadata)",
+            bundles::dedup_bundle(),
+            vec![dedupable(n)],
+        ),
+        (
+            "decompress",
+            "Decompress (dictionary)",
+            bundles::decompress_bundle(expansion),
+            vec![packed],
+        ),
+        (
+            "replicate",
+            "Replicate (flags)",
+            bundles::replicate_bundle(),
+            vec![pattern(n / 2, 30)],
+        ),
+        (
+            "nn-infer",
+            "NN Inference (model parameters)",
+            bundles::nn_bundle(&model),
+            vec![pattern(n.min(512 << 10), 40)],
+        ),
+        (
+            "nn-train",
+            "NN Training (model parameters)",
+            bundles::nn_train_bundle(),
+            vec![pattern(n.min(512 << 10) / 36 * 36, 50)],
+        ),
+        (
+            "graph",
+            "Graph Analysis (vertex statistics)",
+            bundles::graph_bundle(),
+            vec![pattern(n, 60)],
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, class, bundle, streams) in cases {
+        let state_bytes: usize = bundle
+            .scratchpad_image()
+            .iter()
+            .map(|(_, b)| b.len())
+            .sum();
+        let mut ssd = ssd_with(EngineKind::AssasinSb, 8, false, false);
+        let r = offload(&mut ssd, bundle, &streams)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        rows.push(FunctionRow {
+            name: name.to_string(),
+            class: class.to_string(),
+            state_bytes,
+            gbps: r.throughput_gbps(),
+            dram_per_byte: r.dram_traffic as f64 / (r.bytes_in + r.bytes_out).max(1) as f64,
+            out_per_in: r.bytes_out as f64 / r.bytes_in.max(1) as f64,
+        });
+    }
+    Table02Report { rows }
+}
+
+impl fmt::Display for Table02Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table II in execution: stream-computing offloads on AssasinSb"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.class.clone(),
+                    format!("{}", r.state_bytes),
+                    report::gbps(r.gbps),
+                    format!("{:.2}", r.dram_per_byte),
+                    format!("{:.2}", r.out_per_in),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(
+                &["kernel", "Table II class", "state B", "GB/s", "DRAM B/moved", "out/in"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_function_class_runs_and_bypasses_dram() {
+        let r = run(&Scale::test_scale());
+        assert_eq!(r.rows.len(), 11);
+        for row in &r.rows {
+            assert!(row.gbps > 0.01, "{}: {}", row.name, row.gbps);
+            // The defining ASSASIN property, for every function class:
+            // input data never crosses SSD DRAM.
+            assert!(row.dram_per_byte < 1.1, "{}: {}", row.name, row.dram_per_byte);
+        }
+        // Reduction functions reduce; expansion functions expand.
+        let by = |n: &str| r.rows.iter().find(|x| x.name == n).unwrap();
+        assert!(by("dedup").out_per_in < 0.6);
+        assert!(by("decompress").out_per_in > 2.0);
+        assert!((by("replicate").out_per_in - 2.0).abs() < 0.01);
+        assert!(by("stat").out_per_in == 0.0);
+        assert!(by("graph").out_per_in == 0.0);
+        assert!(by("nn-infer").state_bytes > 500);
+        assert!(by("nn-train").state_bytes > 30);
+    }
+}

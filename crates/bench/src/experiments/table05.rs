@@ -1,0 +1,107 @@
+//! Table V: per-component power and silicon area.
+
+use crate::report;
+use assasin_core::EngineKind;
+use assasin_power::components::{engine_budget, engine_components};
+use serde::Serialize;
+use std::fmt;
+
+/// One component row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComponentRow {
+    /// Engine the component belongs to.
+    pub engine: String,
+    /// Component name.
+    pub component: String,
+    /// Power, mW.
+    pub power_mw: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// The Table V report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table05Report {
+    /// All component rows, grouped by engine.
+    pub rows: Vec<ComponentRow>,
+    /// Per-engine totals.
+    pub totals: Vec<(String, f64, f64)>,
+}
+
+/// The engines Table V itemizes.
+pub const ENGINES: [EngineKind; 3] = [EngineKind::Baseline, EngineKind::Udp, EngineKind::AssasinSb];
+
+/// Builds the table.
+pub fn run() -> Table05Report {
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for kind in ENGINES {
+        for c in engine_components(kind) {
+            rows.push(ComponentRow {
+                engine: kind.label().to_string(),
+                component: c.name.to_string(),
+                power_mw: c.power_mw,
+                area_mm2: c.area_mm2,
+            });
+        }
+        let (p, a) = engine_budget(kind);
+        totals.push((kind.label().to_string(), p, a));
+    }
+    Table05Report { rows, totals }
+}
+
+impl fmt::Display for Table05Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table V: power and area of engine subcomponents (14nm model)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.clone(),
+                    r.component.clone(),
+                    format!("{:.2}", r.power_mw),
+                    format!("{:.4}", r.area_mm2),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            report::table(&["engine", "component", "mW", "mm2"], &rows)
+        )?;
+        writeln!(f, "totals per engine:")?;
+        let rows: Vec<Vec<String>> = self
+            .totals
+            .iter()
+            .map(|(e, p, a)| vec![e.clone(), format!("{p:.2}"), format!("{a:.4}")])
+            .collect();
+        write!(f, "{}", report::table(&["engine", "mW", "mm2"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let t = run();
+        for (engine, p, a) in &t.totals {
+            let sp: f64 = t
+                .rows
+                .iter()
+                .filter(|r| &r.engine == engine)
+                .map(|r| r.power_mw)
+                .sum();
+            let sa: f64 = t
+                .rows
+                .iter()
+                .filter(|r| &r.engine == engine)
+                .map(|r| r.area_mm2)
+                .sum();
+            assert!((sp - p).abs() < 1e-9);
+            assert!((sa - a).abs() < 1e-9);
+        }
+    }
+}

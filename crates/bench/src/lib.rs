@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section VI).
+//!
+//! Each experiment lives in [`experiments`] as a `run(&Scale) -> Report`
+//! function whose report type implements `Display` (the paper's rows) and
+//! `serde::Serialize` (for `EXPERIMENTS.md` regeneration). The binaries in
+//! `src/bin/` wrap one experiment each; `all_experiments` runs the full
+//! evaluation and writes text + JSON reports under `reports/`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table04_configs` | Table IV (engine configurations) |
+//! | `fig05_motivation` | Section III example + Figure 5 decomposition |
+//! | `fig13_standalone` | Figure 13 (Stat/RAID4/RAID6/AES throughput) |
+//! | `fig14_psf` | Figure 14 (Parse-Select-Filter pipeline) |
+//! | `fig15_tpch` | Figure 15 (22-query end-to-end latency) |
+//! | `fig16_scalability` | Figures 16 + 17 (scaling, utilization) |
+//! | `fig18_channel_balance` | Figure 18 (per-channel throughput) |
+//! | `fig19_skew` | Section VI-E (crossbar vs channel-local under skew) |
+//! | `fig20_timing` | Figure 20 (memory-structure access times) |
+//! | `fig21_adjusted` | Figure 21 (timing-adjusted throughput) |
+//! | `fig22_efficiency` | Figure 22 + Table V (power/area efficiency) |
+
+pub mod bundles;
+pub mod experiments;
+pub mod provider;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use scale::Scale;

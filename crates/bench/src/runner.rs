@@ -1,0 +1,65 @@
+//! SSD construction and single-function offload helpers.
+
+use assasin_core::EngineKind;
+use assasin_ssd::{KernelBundle, ScompRequest, ScompResult, Ssd, SsdConfig, SsdError};
+
+/// Builds the paper's evaluated SSD with one engine architecture.
+pub fn ssd_with(engine: EngineKind, n_cores: usize, adjusted: bool, channel_local: bool) -> Ssd {
+    let mut cfg = SsdConfig::engine_config(engine);
+    cfg.n_cores = n_cores;
+    cfg.adjusted_timing = adjusted;
+    cfg.channel_local = channel_local;
+    Ssd::new(cfg)
+}
+
+/// Loads `streams` as flash objects and runs `bundle` over them, returning
+/// the scomp result.
+///
+/// # Errors
+///
+/// Propagates SSD errors (the harness treats them as fatal).
+pub fn offload(
+    ssd: &mut Ssd,
+    bundle: KernelBundle,
+    streams: &[Vec<u8>],
+) -> Result<ScompResult, SsdError> {
+    let mut lpa_lists = Vec::with_capacity(streams.len());
+    let mut lengths = Vec::with_capacity(streams.len());
+    for (i, data) in streams.iter().enumerate() {
+        // Spread stream base LPAs far apart.
+        let base = (i as u64) * (1 << 20);
+        lpa_lists.push(ssd.load_object(base, data)?);
+        lengths.push(data.len() as u64);
+    }
+    let req = ScompRequest::new(bundle, lpa_lists).with_stream_bytes(lengths);
+    ssd.scomp(&req)
+}
+
+/// Convenience: build an SSD for `engine`, load, offload, return the result.
+///
+/// # Errors
+///
+/// Propagates SSD errors.
+pub fn offload_fresh(
+    engine: EngineKind,
+    adjusted: bool,
+    bundle: KernelBundle,
+    streams: &[Vec<u8>],
+) -> Result<ScompResult, SsdError> {
+    let mut ssd = ssd_with(engine, 8, adjusted, false);
+    offload(&mut ssd, bundle, streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundles;
+
+    #[test]
+    fn offload_round_trips() {
+        let data = vec![vec![3u8; 128 * 1024]];
+        let r = offload_fresh(EngineKind::AssasinSb, false, bundles::scan_bundle(), &data)
+            .expect("scan offload");
+        assert_eq!(r.bytes_in, 128 * 1024);
+    }
+}

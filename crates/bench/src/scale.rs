@@ -1,0 +1,79 @@
+//! Experiment sizing.
+
+/// Input sizes for the experiments. The paper uses 8 GiB arrays and TPC-H
+//  SF 10; all reported metrics are steady-state rates, which converge at
+/// MiB scale in this simulator, so the default keeps full runs under a few
+/// minutes. Scale up via `ASSASIN_SCALE` (a multiplier) for longer runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Bytes per standalone-function input stream (Figure 13).
+    pub standalone_bytes: usize,
+    /// Bytes for the AES input (AES simulates ~70 instructions/byte, so it
+    /// gets a smaller input at equal simulated fidelity).
+    pub aes_bytes: usize,
+    /// TPC-H scale factor for PSF and end-to-end runs.
+    pub sf: f64,
+    /// Bytes scanned per core-count point in the scalability sweep.
+    pub scalability_bytes: usize,
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default experiment scale (CI-friendly).
+    pub fn default_scale() -> Scale {
+        Scale {
+            standalone_bytes: 4 << 20,
+            aes_bytes: 512 << 10,
+            sf: 0.01,
+            scalability_bytes: 16 << 20,
+            seed: 0xA55A,
+        }
+    }
+
+    /// A tiny scale for integration tests.
+    pub fn test_scale() -> Scale {
+        Scale {
+            standalone_bytes: 256 << 10,
+            aes_bytes: 64 << 10,
+            sf: 0.002,
+            scalability_bytes: 1 << 20,
+            seed: 0xA55A,
+        }
+    }
+
+    /// Reads `ASSASIN_SCALE` as a multiplier over the default scale.
+    pub fn from_env() -> Scale {
+        let mult: f64 = std::env::var("ASSASIN_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let d = Scale::default_scale();
+        Scale {
+            standalone_bytes: (d.standalone_bytes as f64 * mult) as usize,
+            aes_bytes: (d.aes_bytes as f64 * mult) as usize,
+            sf: d.sf * mult,
+            scalability_bytes: (d.scalability_bytes as f64 * mult) as usize,
+            seed: d.seed,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_positive() {
+        for s in [Scale::default_scale(), Scale::test_scale()] {
+            assert!(s.standalone_bytes > 0 && s.aes_bytes > 0);
+            assert!(s.sf > 0.0);
+        }
+    }
+}

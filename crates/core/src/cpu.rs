@@ -1,0 +1,1112 @@
+//! The cycle-level in-order core interpreter.
+
+use crate::regions::{layout, DramWindow, PingPong};
+use crate::{CoreConfig, EngineKind, StreamEnv};
+use assasin_isa::{csr, AluOp, BranchCond, Instr, Program};
+use assasin_mem::{
+    AccessKind, MemHierarchy, ReadOutcome, Scratchpad, ServedBy, SharedDram, StreamBuffer,
+};
+use assasin_sim::stats::CycleBreakdown;
+use assasin_sim::SimTime;
+
+/// Dynamic instruction mix, used for reporting and to parameterize the UDP
+/// analytical model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Instructions retired.
+    pub total: u64,
+    /// Simple ALU operations.
+    pub alu: u64,
+    /// Multiply/divide operations.
+    pub muldiv: u64,
+    /// Memory loads (cache/scratchpad/staging).
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub taken: u64,
+    /// Unconditional jumps.
+    pub jumps: u64,
+    /// Stream loads.
+    pub stream_loads: u64,
+    /// Stream stores.
+    pub stream_stores: u64,
+}
+
+/// Execution state of a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreState {
+    /// Executing instructions.
+    Running,
+    /// Stopped: explicit `halt`, or a `StreamLoad` on an exhausted stream
+    /// (the paper's completion convention, after which firmware resets the
+    /// core).
+    Halted,
+    /// An unrecoverable model error (bad address, starved stream): a bug in
+    /// the embedding, surfaced loudly.
+    Wedged(String),
+}
+
+/// One in-order scalar core with the Table IV memory structures attached.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    regs: [u32; 32],
+    pc: u32,
+    program: Program,
+    cycle: u64,
+    state: CoreState,
+    scratchpad: Scratchpad,
+    sbuf: StreamBuffer,
+    hierarchy: Option<MemHierarchy>,
+    window: Option<DramWindow>,
+    staging: Option<PingPong>,
+    breakdown: CycleBreakdown,
+    mix: InstrMix,
+}
+
+impl Core {
+    /// Builds a core. `dram` is required for configurations with a cache
+    /// hierarchy (Baseline, Prefetch, AssasinSb$).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration needs a DRAM handle and none is given,
+    /// or if [`CoreConfig::kind`] is [`EngineKind::Udp`] (UDP lanes are
+    /// modeled by [`UdpLane`](crate::UdpLane), not by this interpreter).
+    pub fn new(id: usize, cfg: CoreConfig, program: Program, dram: Option<SharedDram>) -> Self {
+        assert!(
+            cfg.kind != EngineKind::Udp,
+            "UDP lanes are modeled analytically, not by Core"
+        );
+        let hierarchy = cfg.hierarchy.map(|h| {
+            MemHierarchy::new(
+                h,
+                dram.clone()
+                    .expect("cache hierarchy requires a DRAM handle"),
+            )
+        });
+        let staging = (cfg.kind == EngineKind::AssasinSp).then(|| PingPong::new(cfg.staging_bytes));
+        Core {
+            id,
+            cfg,
+            regs: [0; 32],
+            pc: 0,
+            program,
+            cycle: 0,
+            state: CoreState::Running,
+            scratchpad: Scratchpad::new(cfg.scratchpad_bytes as usize),
+            sbuf: StreamBuffer::new(cfg.streambuffer),
+            hierarchy,
+            window: None,
+            staging,
+            breakdown: CycleBreakdown::default(),
+            mix: InstrMix::default(),
+        }
+    }
+
+    /// This core's id (used when one [`StreamEnv`] serves many cores).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    /// Cycles elapsed on this core's clock.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions retired.
+    pub fn mix(&self) -> &InstrMix {
+        &self.mix
+    }
+
+    /// Cycle decomposition (Figure 5).
+    pub fn breakdown(&self) -> &CycleBreakdown {
+        &self.breakdown
+    }
+
+    /// This core's current local time.
+    pub fn local_time(&self) -> SimTime {
+        self.cfg.clock.cycle_time(SimTime::ZERO, self.cycle)
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: assasin_isa::Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes an architectural register (kernel launch arguments).
+    pub fn set_reg(&mut self, r: assasin_isa::Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// The function-state scratchpad (firmware preloads state here).
+    pub fn scratchpad_mut(&mut self) -> &mut Scratchpad {
+        &mut self.scratchpad
+    }
+
+    /// Immutable scratchpad view (result extraction).
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.scratchpad
+    }
+
+    /// The streambuffer (firmware prefill / final flush).
+    pub fn sbuf_mut(&mut self) -> &mut StreamBuffer {
+        &mut self.sbuf
+    }
+
+    /// Streambuffer view.
+    pub fn sbuf(&self) -> &StreamBuffer {
+        &self.sbuf
+    }
+
+    /// Attaches the DRAM staging window (Baseline/Prefetch/Sb$ data path).
+    pub fn set_window(&mut self, window: DramWindow) {
+        self.window = Some(window);
+    }
+
+    /// The DRAM staging window, if attached.
+    pub fn window(&self) -> Option<&DramWindow> {
+        self.window.as_ref()
+    }
+
+    /// Mutable DRAM staging window (the firmware stages pages into it).
+    pub fn window_mut(&mut self) -> Option<&mut DramWindow> {
+        self.window.as_mut()
+    }
+
+    /// Cache/prefetch counters, if a hierarchy is attached.
+    pub fn hierarchy(&self) -> Option<&MemHierarchy> {
+        self.hierarchy.as_ref()
+    }
+
+    fn wedge(&mut self, msg: String) {
+        self.state = CoreState::Wedged(format!("core {} @pc {}: {msg}", self.id, self.pc));
+    }
+
+    /// Charges `extra` stall cycles into a breakdown bucket.
+    fn charge(&mut self, extra: u64, bucket: fn(&mut CycleBreakdown) -> &mut u64) {
+        *bucket(&mut self.breakdown) += extra;
+        self.cycle += extra;
+    }
+
+    /// Converts an absolute completion time into extra stall cycles beyond
+    /// the instruction's base cycle, advancing nothing.
+    fn stall_cycles(&self, issue: SimTime, complete: SimTime) -> u64 {
+        let dur = complete.saturating_since(issue);
+        self.cfg.clock.dur_to_cycles_ceil(dur).saturating_sub(1)
+    }
+
+    /// Runs until `deadline` (exclusive) or until the core stops. Returns
+    /// the state afterwards.
+    pub fn run(&mut self, env: &mut dyn StreamEnv, deadline: SimTime) -> &CoreState {
+        let period = self.cfg.clock.period_ps();
+        let cycle_limit = deadline.as_ps() / period;
+        while self.state == CoreState::Running && self.cycle < cycle_limit {
+            self.step(env);
+        }
+        &self.state
+    }
+
+    /// Runs to completion (no deadline). Mostly for tests; the SSD uses
+    /// bounded epochs.
+    pub fn run_to_halt(&mut self, env: &mut dyn StreamEnv) -> &CoreState {
+        while self.state == CoreState::Running {
+            self.step(env);
+        }
+        &self.state
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self, env: &mut dyn StreamEnv) {
+        if self.state != CoreState::Running {
+            return;
+        }
+        let Some(instr) = self.program.fetch(self.pc) else {
+            self.wedge("pc past end of program".into());
+            return;
+        };
+        let issue = self.local_time();
+        let mut next_pc = self.pc + 1;
+        self.mix.total += 1;
+        // Base cost: one cycle, charged up front; stalls add on top.
+        self.cycle += 1;
+        self.breakdown.busy += 1;
+
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let a = self.regs[rs1.index() as usize];
+                let b = self.regs[rs2.index() as usize];
+                let v = alu_eval(op, a, b);
+                self.set_reg(rd, v);
+                if op.is_muldiv() {
+                    self.mix.muldiv += 1;
+                    let lat = if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu) {
+                        self.cfg.mul_cycles
+                    } else {
+                        self.cfg.div_cycles
+                    };
+                    self.charge(lat.saturating_sub(1) as u64, |b| &mut b.busy);
+                } else {
+                    self.mix.alu += 1;
+                }
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let a = self.regs[rs1.index() as usize];
+                let v = alu_eval(op, a, imm as u32);
+                self.set_reg(rd, v);
+                self.mix.alu += 1;
+            }
+            Instr::Lui { rd, imm } => {
+                self.set_reg(rd, imm << 12);
+                self.mix.alu += 1;
+            }
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                self.mix.loads += 1;
+                let addr = self.regs[base.index() as usize].wrapping_add(offset as u32) as u64;
+                match self.mem_load(addr, width as u32, issue) {
+                    Ok(raw) => {
+                        let v = if signed {
+                            sign_extend(raw, width as u32)
+                        } else {
+                            raw
+                        };
+                        self.set_reg(rd, v);
+                    }
+                    Err(msg) => return self.wedge(msg),
+                }
+            }
+            Instr::Store {
+                width,
+                rs,
+                base,
+                offset,
+            } => {
+                self.mix.stores += 1;
+                let addr = self.regs[base.index() as usize].wrapping_add(offset as u32) as u64;
+                let value = self.regs[rs.index() as usize];
+                if let Err(msg) = self.mem_store(addr, width as u32, value, issue) {
+                    return self.wedge(msg);
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                self.mix.branches += 1;
+                let a = self.regs[rs1.index() as usize];
+                let b = self.regs[rs2.index() as usize];
+                if branch_eval(cond, a, b) {
+                    self.mix.taken += 1;
+                    next_pc = target;
+                    self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
+                }
+            }
+            Instr::Jal { rd, target } => {
+                self.mix.jumps += 1;
+                self.set_reg(rd, self.pc + 1);
+                next_pc = target;
+                self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
+            }
+            Instr::Jalr { rd, base, offset } => {
+                self.mix.jumps += 1;
+                let t = self.regs[base.index() as usize].wrapping_add(offset as u32);
+                self.set_reg(rd, self.pc + 1);
+                next_pc = t;
+                self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
+            }
+            Instr::Halt => {
+                self.state = CoreState::Halted;
+                return;
+            }
+            Instr::StreamLoad { rd, sid, width } => {
+                self.mix.stream_loads += 1;
+                match self.stream_load(env, sid as u32, width as u32, issue) {
+                    Ok(Some(v)) => self.set_reg(rd, v),
+                    Ok(None) => return, // halted on exhausted stream
+                    Err(msg) => return self.wedge(msg),
+                }
+            }
+            Instr::StreamStore { sid, width, rs } => {
+                self.mix.stream_stores += 1;
+                let value = self.regs[rs.index() as usize];
+                if let Err(msg) = self.stream_store(env, sid as u32, width as u32, value, issue) {
+                    return self.wedge(msg);
+                }
+            }
+            Instr::StreamAvail { rd, sid } => {
+                env.refill_stream(self.id, sid as u32, issue, &mut self.sbuf);
+                let avail = self.sbuf.in_bytes_available(sid as u32).min(u32::MAX as u64);
+                self.set_reg(rd, avail as u32);
+            }
+            Instr::StreamEos { rd, sid } => {
+                env.refill_stream(self.id, sid as u32, issue, &mut self.sbuf);
+                let eos = self.sbuf.is_exhausted(sid as u32);
+                self.set_reg(rd, eos as u32);
+            }
+            Instr::BufSwap { bank } => {
+                if let Err(msg) = self.buf_swap(env, bank, issue) {
+                    return self.wedge(msg);
+                }
+            }
+            Instr::CsrR { rd, csr: num } => {
+                let v = self.read_csr(num);
+                self.set_reg(rd, v);
+            }
+        }
+        self.pc = next_pc;
+    }
+
+    fn read_csr(&self, num: u16) -> u32 {
+        match num {
+            csr::CYCLE => self.cycle as u32,
+            Self::CSR_IN_BANK_LEN => self
+                .staging
+                .as_ref()
+                .map(|s| s.in_len() as u32)
+                .unwrap_or(0),
+            n if (0x800..0x808).contains(&n) => {
+                self.sbuf.in_csrs((n - 0x800) as u32).map(|c| c.0).unwrap_or(0) as u32
+            }
+            n if (0x810..0x818).contains(&n) => {
+                self.sbuf.in_csrs((n - 0x810) as u32).map(|c| c.1).unwrap_or(0) as u32
+            }
+            n if (0x820..0x828).contains(&n) => {
+                self.sbuf.out_csrs((n - 0x820) as u32).map(|c| c.0).unwrap_or(0) as u32
+            }
+            n if (0x830..0x838).contains(&n) => {
+                self.sbuf.out_csrs((n - 0x830) as u32).map(|c| c.1).unwrap_or(0) as u32
+            }
+            _ => 0,
+        }
+    }
+
+    /// CSR holding the valid length of the current AssasinSp input bank.
+    pub const CSR_IN_BANK_LEN: u16 = 0xC10;
+
+    // ------------------------------------------------------------- memory
+
+    fn mem_load(&mut self, addr: u64, width: u32, issue: SimTime) -> Result<u32, String> {
+        if addr >= layout::STAGING_OUT_BASE {
+            return Err(format!("load from output staging window {addr:#x}"));
+        }
+        if addr >= layout::STAGING_IN_BASE {
+            let off = addr - layout::STAGING_IN_BASE;
+            let Some(staging) = &self.staging else {
+                return Err("staging access without ping-pong buffers".into());
+            };
+            if off as usize + width as usize > staging.in_len() {
+                return Err(format!("staging load past bank length at {off:#x}"));
+            }
+            let v = staging.load_in(off, width);
+            let extra = self.cfg.scratchpad_cycles.saturating_sub(1) as u64;
+            self.charge(extra, |b| &mut b.stall_scratchpad);
+            return Ok(v);
+        }
+        if addr >= layout::DRAM_BASE {
+            let off = addr - layout::DRAM_BASE;
+            let Some(window) = &self.window else {
+                return Err("DRAM access without a staging window".into());
+            };
+            if !window.contains(off, width) {
+                return Err(format!("DRAM load outside window at {off:#x}"));
+            }
+            let Some(hier) = &mut self.hierarchy else {
+                return Err("DRAM access without a cache hierarchy".into());
+            };
+            let (complete, served) = hier.access(AccessKind::Load, self.pc as u64, off, width, issue);
+            let value = window.load(off, width);
+            let avail = window.avail_at(off);
+            let stall = self.stall_cycles(issue, complete);
+            let bucket: fn(&mut CycleBreakdown) -> &mut u64 = match served {
+                ServedBy::L1 => |b| &mut b.stall_l1,
+                ServedBy::L2 => |b| &mut b.stall_l2,
+                ServedBy::Dram | ServedBy::Prefetch => |b| &mut b.stall_dram,
+            };
+            self.charge(stall, bucket);
+            // Wait further if the firmware has not staged the page yet.
+            if avail > complete {
+                let extra = self.stall_cycles(issue, avail).saturating_sub(stall);
+                self.charge(extra, |b| &mut b.stall_stream);
+            }
+            return Ok(value);
+        }
+        // Scratchpad.
+        match self.scratchpad.load(addr, width) {
+            Ok(v) => {
+                let extra = self.cfg.scratchpad_cycles.saturating_sub(1) as u64;
+                self.charge(extra, |b| &mut b.stall_scratchpad);
+                Ok(v as u32)
+            }
+            Err(e) => Err(format!("scratchpad load failed: {e}")),
+        }
+    }
+
+    fn mem_store(
+        &mut self,
+        addr: u64,
+        width: u32,
+        value: u32,
+        issue: SimTime,
+    ) -> Result<(), String> {
+        if addr >= layout::STAGING_OUT_BASE {
+            let off = addr - layout::STAGING_OUT_BASE;
+            let Some(staging) = &mut self.staging else {
+                return Err("staging access without ping-pong buffers".into());
+            };
+            if off as usize + width as usize > staging.bank_bytes() as usize {
+                return Err(format!("staging store past bank at {off:#x}"));
+            }
+            staging.store_out(off, width, value);
+            let extra = self.cfg.scratchpad_cycles.saturating_sub(1) as u64;
+            self.charge(extra, |b| &mut b.stall_scratchpad);
+            return Ok(());
+        }
+        if addr >= layout::STAGING_IN_BASE {
+            return Err(format!("store into input staging window {addr:#x}"));
+        }
+        if addr >= layout::DRAM_BASE {
+            let off = addr - layout::DRAM_BASE;
+            let Some(window) = &mut self.window else {
+                return Err("DRAM access without a staging window".into());
+            };
+            if !window.contains(off, width) {
+                return Err(format!("DRAM store outside window at {off:#x}"));
+            }
+            window.store(off, width, value);
+            let Some(hier) = &mut self.hierarchy else {
+                return Err("DRAM access without a cache hierarchy".into());
+            };
+            let (complete, _) = hier.access(AccessKind::Store, self.pc as u64, off, width, issue);
+            let stall = self.stall_cycles(issue, complete);
+            self.charge(stall, |b| &mut b.stall_l1);
+            return Ok(());
+        }
+        self.scratchpad
+            .store(addr, width, value as u64)
+            .map_err(|e| format!("scratchpad store failed: {e}"))?;
+        let extra = self.cfg.scratchpad_cycles.saturating_sub(1) as u64;
+        self.charge(extra, |b| &mut b.stall_scratchpad);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- streams
+
+    fn stream_load(
+        &mut self,
+        env: &mut dyn StreamEnv,
+        sid: u32,
+        width: u32,
+        issue: SimTime,
+    ) -> Result<Option<u32>, String> {
+        {
+            match self.sbuf.read(sid, width, issue) {
+                Ok(ReadOutcome::Data {
+                    value,
+                    ready,
+                    freed_pages,
+                }) => {
+                    let stall = self.stall_cycles(issue, ready);
+                    self.charge(stall, |b| &mut b.stall_stream);
+                    if freed_pages > 0 {
+                        let now = self.local_time();
+                        env.refill_stream(self.id, sid, now, &mut self.sbuf);
+                    }
+                    Ok(Some(value as u32))
+                }
+                Ok(ReadOutcome::Blocked) => {
+                    env.refill_stream(self.id, sid, issue, &mut self.sbuf);
+                    match self.sbuf.read(sid, width, issue) {
+                        Ok(ReadOutcome::Blocked) => {
+                            Err(format!("stream {sid} starved after refill"))
+                        }
+                        Ok(ReadOutcome::Exhausted) => {
+                            self.state = CoreState::Halted;
+                            Ok(None)
+                        }
+                        Ok(ReadOutcome::Data {
+                            value,
+                            ready,
+                            freed_pages,
+                        }) => {
+                            let stall = self.stall_cycles(issue, ready);
+                            self.charge(stall, |b| &mut b.stall_stream);
+                            if freed_pages > 0 {
+                                let now = self.local_time();
+                                env.refill_stream(self.id, sid, now, &mut self.sbuf);
+                            }
+                            Ok(Some(value as u32))
+                        }
+                        Err(e) => Err(format!("stream load failed: {e}")),
+                    }
+                }
+                Ok(ReadOutcome::Exhausted) => {
+                    self.state = CoreState::Halted;
+                    Ok(None)
+                }
+                Err(e) => Err(format!("stream load failed: {e}")),
+            }
+        }
+    }
+
+    fn stream_store(
+        &mut self,
+        env: &mut dyn StreamEnv,
+        sid: u32,
+        width: u32,
+        value: u32,
+        issue: SimTime,
+    ) -> Result<(), String> {
+        let outcome = self
+            .sbuf
+            .write(sid, width, value as u64, issue)
+            .map_err(|e| format!("stream store failed: {e}"))?;
+        let stall = self.stall_cycles(issue, outcome.ready);
+        self.charge(stall, |b| &mut b.stall_swap);
+        if let Some(page) = outcome.completed_page {
+            let now = self.local_time();
+            let done = env.drain_page(self.id, sid, page, now);
+            self.sbuf
+                .note_drain(sid, done)
+                .map_err(|e| format!("drain bookkeeping failed: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn buf_swap(&mut self, env: &mut dyn StreamEnv, bank: u8, issue: SimTime) -> Result<(), String> {
+        let Some(_) = self.staging else {
+            return Err("buf.swap without ping-pong buffers".into());
+        };
+        match bank {
+            0 => {
+                match env.next_input_bank(self.id, issue) {
+                    Some((data, ready)) => {
+                        let staging = self.staging.as_mut().expect("checked");
+                        staging.install_input(data);
+                        let stall = self.stall_cycles(issue, ready);
+                        self.charge(stall, |b| &mut b.stall_swap);
+                    }
+                    None => {
+                        self.staging.as_mut().expect("checked").set_exhausted();
+                    }
+                }
+                Ok(())
+            }
+            1 => {
+                let staging = self.staging.as_mut().expect("checked");
+                let prev_done = staging.drain_done();
+                let data = staging.take_output();
+                let stall = self.stall_cycles(issue, prev_done);
+                self.charge(stall, |b| &mut b.stall_swap);
+                let now = self.local_time().max(prev_done);
+                let done = env.drain_bank(self.id, data, now);
+                self.staging.as_mut().expect("checked").set_drain_done(done);
+                Ok(())
+            }
+            other => Err(format!("buf.swap of unknown bank {other}")),
+        }
+    }
+}
+
+fn sign_extend(v: u32, width: u32) -> u32 {
+    match width {
+        1 => v as u8 as i8 as i32 as u32,
+        2 => v as u16 as i16 as i32 as u32,
+        _ => v,
+    }
+}
+
+#[allow(clippy::manual_checked_ops)] // RISC-V semantics spelled explicitly
+fn alu_eval(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == i32::MIN as u32 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == i32::MIN as u32 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn branch_eval(cond: BranchCond, a: u32, b: u32) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i32) < (b as i32),
+        BranchCond::Ge => (a as i32) >= (b as i32),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullEnv, SyntheticEnv};
+    use assasin_isa::{Assembler, Reg};
+
+    fn run_program(asm: Assembler, cfg: CoreConfig) -> Core {
+        let program = asm.finish().expect("assembles");
+        let mut core = Core::new(0, cfg, program, None);
+        core.run_to_halt(&mut NullEnv);
+        core
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, 21);
+        asm.li(Reg::A1, 2);
+        asm.mul(Reg::A2, Reg::A0, Reg::A1);
+        asm.halt();
+        let core = run_program(asm, CoreConfig::assasin_sb());
+        assert_eq!(core.state(), &CoreState::Halted);
+        assert_eq!(core.reg(Reg::A2), 42);
+        // li (2) + li (2)... actually each li of a small const is 1 addi.
+        assert_eq!(core.mix().total, 4);
+        // mul pays 3 cycles, everything else 1.
+        assert_eq!(core.cycles(), 3 + 3);
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::ZERO, 99);
+        asm.addi(Reg::A0, Reg::ZERO, 5);
+        asm.halt();
+        let core = run_program(asm, CoreConfig::assasin_sb());
+        assert_eq!(core.reg(Reg::ZERO), 0);
+        assert_eq!(core.reg(Reg::A0), 5);
+    }
+
+    #[test]
+    fn loop_counts_correctly() {
+        // Sum 1..=10 with a countdown loop.
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, 10);
+        asm.li(Reg::A1, 0);
+        let top = asm.label();
+        asm.bind(top);
+        asm.add(Reg::A1, Reg::A1, Reg::A0);
+        asm.addi(Reg::A0, Reg::A0, -1);
+        asm.bnez(Reg::A0, top);
+        asm.halt();
+        let core = run_program(asm, CoreConfig::assasin_sb());
+        assert_eq!(core.reg(Reg::A1), 55);
+        assert_eq!(core.mix().taken, 9);
+        assert_eq!(core.mix().branches, 10);
+    }
+
+    #[test]
+    fn riscv_division_semantics() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, 7);
+        asm.li(Reg::A1, 0);
+        asm.div(Reg::A2, Reg::A0, Reg::A1); // div by zero -> all ones
+        asm.rem(Reg::A3, Reg::A0, Reg::A1); // rem by zero -> dividend
+        asm.halt();
+        let core = run_program(asm, CoreConfig::assasin_sb());
+        assert_eq!(core.reg(Reg::A2), u32::MAX);
+        assert_eq!(core.reg(Reg::A3), 7);
+    }
+
+    #[test]
+    fn scratchpad_roundtrip_and_latency() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::A0, 0x1234);
+        asm.sw(Reg::A0, Reg::ZERO, 16);
+        asm.lw(Reg::A1, Reg::ZERO, 16);
+        asm.halt();
+        let mut cfg = CoreConfig::assasin_sp();
+        cfg.scratchpad_cycles = 2;
+        let core = run_program(asm, cfg);
+        assert_eq!(core.reg(Reg::A1), 0x1234);
+        assert_eq!(core.breakdown().stall_scratchpad, 2, "one extra cycle per access");
+    }
+
+    #[test]
+    fn stream_sum_matches_golden() {
+        // Sum bytes of stream 0, write the 4-byte total to stream 0 out on
+        // exhaustion... (stream loads hang at end, so accumulate in sp).
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.stream_load(Reg::A0, 0, 1);
+        asm.add(Reg::A1, Reg::A1, Reg::A0);
+        asm.sw(Reg::A1, Reg::ZERO, 0); // keep latest sum in scratchpad
+        asm.j(top);
+        let program = asm.finish().unwrap();
+
+        let data: Vec<u8> = (0..=255u8).collect();
+        let golden: u32 = data.iter().map(|&b| b as u32).sum();
+
+        let mut env = SyntheticEnv::new(8, 64);
+        env.set_input(0, &data);
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), program, None);
+        core.run_to_halt(&mut env);
+        assert_eq!(core.state(), &CoreState::Halted);
+        assert_eq!(core.scratchpad().load(0, 4).unwrap() as u32, golden);
+        assert_eq!(core.mix().stream_loads as usize, data.len() + 1);
+    }
+
+    #[test]
+    fn stream_copy_roundtrip() {
+        // Copy stream 0 -> out stream 0, word at a time.
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.stream_load(Reg::A0, 0, 4);
+        asm.stream_store(0, 4, Reg::A0);
+        asm.j(top);
+        let program = asm.finish().unwrap();
+
+        let data: Vec<u8> = (0..1024u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut env = SyntheticEnv::new(8, 256);
+        env.set_input(0, &data);
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), program, None);
+        core.run_to_halt(&mut env);
+        // Flush the partial final page like the firmware would.
+        if let Some(tail) = core.sbuf_mut().flush(0).unwrap() {
+            env.drain_page(0, 0, tail, SimTime::ZERO);
+        }
+        assert_eq!(env.output(0), &data[..]);
+    }
+
+    #[test]
+    fn stream_stall_accounting_under_slow_input() {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.stream_load(Reg::A0, 0, 4);
+        asm.j(top);
+        let program = asm.finish().unwrap();
+
+        let data = vec![0u8; 64 * 1024];
+        let mut env = SyntheticEnv::new(8, 4096);
+        env.set_input(0, &data);
+        env.set_rate(Some(0.5e9)); // 0.5 GB/s: slower than the core scans
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), program, None);
+        core.run_to_halt(&mut env);
+        assert_eq!(core.state(), &CoreState::Halted);
+        assert!(
+            core.breakdown().stall_stream > core.breakdown().busy,
+            "input-bound run must be dominated by stream stalls: {:?}",
+            core.breakdown()
+        );
+    }
+
+    #[test]
+    fn dram_window_load_uses_hierarchy() {
+        use assasin_mem::Dram;
+        let mut asm = Assembler::new();
+        asm.lui(Reg::S0, 0x10000); // DRAM_BASE
+        asm.lw(Reg::A0, Reg::S0, 0);
+        asm.lw(Reg::A1, Reg::S0, 4);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let dram = Dram::lpddr5_8gbps().into_shared();
+        let mut core = Core::new(0, CoreConfig::baseline(), program, Some(dram));
+        let mut w = DramWindow::new(4096, 4096);
+        w.stage(0, &[1, 0, 0, 0, 2, 0, 0, 0], SimTime::ZERO);
+        core.set_window(w);
+        core.run_to_halt(&mut NullEnv);
+        assert_eq!(core.state(), &CoreState::Halted);
+        assert_eq!(core.reg(Reg::A0), 1);
+        assert_eq!(core.reg(Reg::A1), 2);
+        // First lw misses to DRAM, second hits L1.
+        assert!(core.breakdown().stall_dram > 0);
+        let (hits, misses) = core.hierarchy().unwrap().l1_counters().unwrap();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn pingpong_swap_flow() {
+        // Scan banks byte by byte until exhausted; count bytes in a3.
+        let mut asm = Assembler::new();
+        let outer = asm.label();
+        let done = asm.label();
+        asm.bind(outer);
+        asm.buf_swap(0);
+        asm.csrr(Reg::A0, Core::CSR_IN_BANK_LEN);
+        asm.beqz(Reg::A0, done);
+        asm.lui(Reg::S0, 0x20000); // STAGING_IN_BASE
+        asm.li(Reg::T0, 0);
+        let inner = asm.label();
+        asm.bind(inner);
+        asm.add(Reg::T1, Reg::S0, Reg::T0);
+        asm.lbu(Reg::T2, Reg::T1, 0);
+        asm.add(Reg::A3, Reg::A3, Reg::T2);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.bltu(Reg::T0, Reg::A0, inner);
+        asm.j(outer);
+        asm.bind(done);
+        asm.halt();
+        let program = asm.finish().unwrap();
+
+        let data: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        let golden: u32 = data.iter().map(|&b| b as u32).sum();
+        let mut env = SyntheticEnv::new(1, 64);
+        env.set_banks(&data, 128);
+        let mut core = Core::new(0, CoreConfig::assasin_sp(), program, None);
+        core.run_to_halt(&mut env);
+        assert_eq!(core.state(), &CoreState::Halted, "{:?}", core.state());
+        assert_eq!(core.reg(Reg::A3), golden);
+    }
+
+    #[test]
+    fn wedges_on_bad_address() {
+        let mut asm = Assembler::new();
+        asm.lui(Reg::S0, 0x0F000);
+        asm.lw(Reg::A0, Reg::S0, 0); // far past scratchpad
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), program, None);
+        core.run_to_halt(&mut NullEnv);
+        assert!(matches!(core.state(), CoreState::Wedged(_)));
+    }
+
+    #[test]
+    fn deadline_bounds_execution() {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.addi(Reg::A0, Reg::A0, 1);
+        asm.j(top);
+        let program = asm.finish().unwrap();
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), program, None);
+        core.run(&mut NullEnv, SimTime::from_us(1));
+        assert_eq!(core.state(), &CoreState::Running);
+        let c1 = core.cycles();
+        assert!((990..=1010).contains(&c1), "cycles {c1}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::{CoreConfig, NullEnv, SyntheticEnv};
+    use assasin_isa::{csr, Assembler, Reg};
+
+    fn run(asm: Assembler) -> Core {
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), asm.finish().unwrap(), None);
+        core.run_to_halt(&mut NullEnv);
+        core
+    }
+
+    #[test]
+    fn csr_cycle_counts_up() {
+        let mut asm = Assembler::new();
+        asm.csrr(Reg::A0, csr::CYCLE);
+        asm.nop();
+        asm.nop();
+        asm.csrr(Reg::A1, csr::CYCLE);
+        asm.halt();
+        let core = run(asm);
+        assert!(core.reg(Reg::A1) > core.reg(Reg::A0));
+    }
+
+    #[test]
+    fn stream_csrs_track_head_and_tail() {
+        let mut asm = Assembler::new();
+        asm.stream_load(Reg::A0, 0, 4);
+        asm.stream_store(1, 4, Reg::A0);
+        asm.csrr(Reg::A2, csr::in_head(0));
+        asm.csrr(Reg::A3, csr::out_tail(1));
+        asm.halt();
+        let mut env = SyntheticEnv::new(8, 64);
+        env.set_input(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), asm.finish().unwrap(), None);
+        core.run_to_halt(&mut env);
+        assert_eq!(core.state(), &CoreState::Halted);
+        assert_eq!(core.reg(Reg::A2), 4, "in head after one word");
+        assert_eq!(core.reg(Reg::A3), 4, "out tail after one word");
+    }
+
+    #[test]
+    fn stream_avail_and_eos_report_state() {
+        let mut asm = Assembler::new();
+        asm.stream_avail(Reg::A0, 0); // triggers refill: full input queued
+        asm.stream_eos(Reg::A1, 0); // not exhausted yet
+        asm.stream_load(Reg::A2, 0, 4);
+        asm.stream_eos(Reg::A3, 0); // all consumed + closed -> 1
+        asm.halt();
+        let mut env = SyntheticEnv::new(8, 64);
+        env.set_input(0, &[9, 0, 0, 0]);
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), asm.finish().unwrap(), None);
+        core.run_to_halt(&mut env);
+        assert_eq!(core.reg(Reg::A0), 4, "four bytes available");
+        assert_eq!(core.reg(Reg::A1), 0, "not exhausted");
+        assert_eq!(core.reg(Reg::A2), 9);
+        assert_eq!(core.reg(Reg::A3), 1, "exhausted after consuming");
+    }
+
+    #[test]
+    fn call_and_return_through_ra() {
+        let mut asm = Assembler::new();
+        let func = asm.label();
+        let done = asm.label();
+        asm.li(Reg::A0, 5);
+        asm.jal(Reg::RA, func);
+        asm.j(done);
+        asm.bind(func);
+        asm.addi(Reg::A0, Reg::A0, 37);
+        asm.ret();
+        asm.bind(done);
+        asm.halt();
+        let core = run(asm);
+        assert_eq!(core.reg(Reg::A0), 42);
+        assert_eq!(core.state(), &CoreState::Halted);
+    }
+
+    #[test]
+    fn narrow_loads_sign_extend() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, 0xFF); // byte 0xFF in scratchpad
+        asm.sb(Reg::T0, Reg::ZERO, 0);
+        asm.lb(Reg::A0, Reg::ZERO, 0); // signed: -1
+        asm.lbu(Reg::A1, Reg::ZERO, 0); // unsigned: 255
+        asm.li(Reg::T0, 0x8000);
+        asm.sh(Reg::T0, Reg::ZERO, 4);
+        asm.lh(Reg::A2, Reg::ZERO, 4);
+        asm.lhu(Reg::A3, Reg::ZERO, 4);
+        asm.halt();
+        let core = run(asm);
+        assert_eq!(core.reg(Reg::A0), u32::MAX);
+        assert_eq!(core.reg(Reg::A1), 255);
+        assert_eq!(core.reg(Reg::A2), 0xFFFF_8000);
+        assert_eq!(core.reg(Reg::A3), 0x8000);
+    }
+
+    #[test]
+    fn shift_semantics_match_riscv() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, -8);
+        asm.srai(Reg::A0, Reg::T0, 1); // arithmetic: -4
+        asm.srli(Reg::A1, Reg::T0, 1); // logical: big positive
+        asm.li(Reg::T1, 33);
+        asm.sll(Reg::A2, Reg::T0, Reg::T1); // shamt masked to 1
+        asm.halt();
+        let core = run(asm);
+        assert_eq!(core.reg(Reg::A0) as i32, -4);
+        assert_eq!(core.reg(Reg::A1), (-8i32 as u32) >> 1);
+        assert_eq!(core.reg(Reg::A2), (-8i32 as u32) << 1);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::T0, -2);
+        asm.li(Reg::T1, 3);
+        asm.mulh(Reg::A0, Reg::T0, Reg::T1); // signed high of -6 = -1
+        asm.mulhu(Reg::A1, Reg::T0, Reg::T1); // unsigned high of huge product
+        asm.halt();
+        let core = run(asm);
+        assert_eq!(core.reg(Reg::A0), u32::MAX);
+        let expect = ((0xFFFF_FFFEu64 * 3) >> 32) as u32;
+        assert_eq!(core.reg(Reg::A1), expect);
+    }
+
+    #[test]
+    fn wedges_on_store_to_input_staging() {
+        let mut asm = Assembler::new();
+        asm.lui(Reg::S0, 0x20000);
+        asm.sw(Reg::A0, Reg::S0, 0);
+        asm.halt();
+        let mut core = Core::new(0, CoreConfig::assasin_sp(), asm.finish().unwrap(), None);
+        core.run_to_halt(&mut NullEnv);
+        assert!(matches!(core.state(), CoreState::Wedged(m) if m.contains("input staging")));
+    }
+
+    #[test]
+    fn wedges_on_pc_past_end() {
+        let mut asm = Assembler::new();
+        asm.nop(); // falls off the end
+        let mut core = Core::new(0, CoreConfig::assasin_sb(), asm.finish().unwrap(), None);
+        core.run_to_halt(&mut NullEnv);
+        assert!(matches!(core.state(), CoreState::Wedged(m) if m.contains("past end")));
+    }
+
+    #[test]
+    fn taken_branches_cost_the_penalty() {
+        // Two programs: taken vs not-taken branch.
+        let build = |taken: bool| {
+            let mut asm = Assembler::new();
+            let l = asm.label();
+            asm.li(Reg::T0, if taken { 0 } else { 1 });
+            asm.beqz(Reg::T0, l);
+            asm.nop();
+            asm.bind(l);
+            asm.halt();
+            let mut core = Core::new(0, CoreConfig::assasin_sb(), asm.finish().unwrap(), None);
+            core.run_to_halt(&mut NullEnv);
+            core.cycles()
+        };
+        let taken = build(true);
+        let not_taken = build(false);
+        // Taken: li + beq(1+2) + halt = 5; not taken: li + beq + nop + halt = 4.
+        assert_eq!(taken, 5);
+        assert_eq!(not_taken, 4);
+    }
+}

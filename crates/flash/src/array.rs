@@ -1,0 +1,317 @@
+//! The multi-channel flash array.
+
+use crate::{FlashChip, FlashError, FlashGeometry, FlashTiming, PhysPageAddr};
+use assasin_sim::{SimDur, SimTime, Timeline};
+use bytes::Bytes;
+
+/// Per-channel traffic statistics, reported in Figure 18.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Bytes read out of the channel.
+    pub bytes_read: u64,
+    /// Bytes written into the channel.
+    pub bytes_written: u64,
+    /// Page reads served.
+    pub page_reads: u64,
+    /// Page programs served.
+    pub page_programs: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    bus: Timeline,
+    chips: Vec<FlashChip>,
+    stats: ChannelStats,
+}
+
+/// The flash array: channels of interleaved chips behind per-channel buses,
+/// managed by one flash controller each (Section II-A, Figure 2).
+///
+/// Read timing: the chip senses the page (tR, chip busy), then the page
+/// streams over the channel bus (bus busy for `page_bytes / bus_rate`).
+/// Write timing: the bus delivers data to the chip's page register first,
+/// then the chip programs (tPROG). Chips on the same channel overlap their
+/// array operations and contend only for the bus — the rank-level
+/// parallelism analogy of Section II-A.
+#[derive(Debug)]
+pub struct FlashArray {
+    geom: FlashGeometry,
+    timing: FlashTiming,
+    channels: Vec<Channel>,
+}
+
+impl FlashArray {
+    /// Creates an erased array.
+    pub fn new(geom: FlashGeometry, timing: FlashTiming) -> Self {
+        let channels = (0..geom.channels)
+            .map(|ch| Channel {
+                bus: Timeline::new(format!("channel-{ch}")),
+                chips: (0..geom.chips_per_channel)
+                    .map(|c| FlashChip::new(ch, c))
+                    .collect(),
+                stats: ChannelStats::default(),
+            })
+            .collect();
+        FlashArray {
+            geom,
+            timing,
+            channels,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geom
+    }
+
+    /// The configured timing.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    fn check(&self, addr: PhysPageAddr) -> Result<(), FlashError> {
+        if self.geom.contains(addr) {
+            Ok(())
+        } else {
+            Err(FlashError::OutOfRange(addr))
+        }
+    }
+
+    /// Reads a page: returns its data and the time the last byte crosses
+    /// the channel bus (when a consumer — DRAM stager, streambuffer — has
+    /// the full page).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range or the page was never
+    /// programmed.
+    pub fn read_page(
+        &mut self,
+        addr: PhysPageAddr,
+        ready: SimTime,
+    ) -> Result<(Bytes, SimTime), FlashError> {
+        self.check(addr)?;
+        let page_bytes = self.geom.page_bytes;
+        let t_read = self.timing.t_read;
+        let xfer = self.timing.transfer_time(page_bytes);
+        let channel = &mut self.channels[addr.channel as usize];
+        let (data, sensed) =
+            channel.chips[addr.chip as usize].sense(&self.geom, addr, ready, t_read)?;
+        let bus_grant = channel.bus.acquire(sensed, xfer);
+        channel.stats.bytes_read += page_bytes as u64;
+        channel.stats.page_reads += 1;
+        Ok((data, bus_grant.end))
+    }
+
+    /// Writes (programs) a page: the bus moves data in, then the chip
+    /// programs. Returns program completion time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range addresses, wrong page sizes, or programming a
+    /// page that has not been erased.
+    pub fn write_page(
+        &mut self,
+        addr: PhysPageAddr,
+        data: Bytes,
+        ready: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        self.write_page_detailed(addr, data, ready).map(|(_, prog)| prog)
+    }
+
+    /// Like [`FlashArray::write_page`], but exposes both the bus-transfer
+    /// completion (when the source buffer frees) and the program
+    /// completion (when the data is durable). Chips program in the
+    /// background, so back-to-back writes pipeline across chips.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlashArray::write_page`].
+    pub fn write_page_detailed(
+        &mut self,
+        addr: PhysPageAddr,
+        data: Bytes,
+        ready: SimTime,
+    ) -> Result<(SimTime, SimTime), FlashError> {
+        self.check(addr)?;
+        let xfer = self.timing.transfer_time(self.geom.page_bytes);
+        let t_prog = self.timing.t_prog;
+        let page_bytes = self.geom.page_bytes;
+        let channel = &mut self.channels[addr.channel as usize];
+        let bus_grant = channel.bus.acquire(ready, xfer);
+        let done =
+            channel.chips[addr.chip as usize].program(&self.geom, addr, data, bus_grant.end, t_prog)?;
+        channel.stats.bytes_written += page_bytes as u64;
+        channel.stats.page_programs += 1;
+        Ok((bus_grant.end, done))
+    }
+
+    /// Erases a block on a chip. Returns completion time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the (channel, chip, plane, block) tuple is out of range.
+    pub fn erase_block(
+        &mut self,
+        channel: u32,
+        chip: u32,
+        plane: u32,
+        block: u32,
+        ready: SimTime,
+    ) -> Result<SimTime, FlashError> {
+        let probe = PhysPageAddr {
+            channel,
+            chip,
+            plane,
+            block,
+            page: 0,
+        };
+        self.check(probe)?;
+        let t_erase = self.timing.t_erase;
+        let ch = &mut self.channels[channel as usize];
+        Ok(ch.chips[chip as usize].erase_block(&self.geom, plane, block, ready, t_erase))
+    }
+
+    /// True if the page holds programmed data.
+    pub fn is_written(&self, addr: PhysPageAddr) -> bool {
+        self.geom.contains(addr)
+            && self.channels[addr.channel as usize].chips[addr.chip as usize]
+                .is_written(&self.geom, addr)
+    }
+
+    /// Traffic statistics for one channel.
+    pub fn channel_stats(&self, channel: u32) -> ChannelStats {
+        self.channels[channel as usize].stats
+    }
+
+    /// Bus busy time for one channel.
+    pub fn channel_busy(&self, channel: u32) -> SimDur {
+        self.channels[channel as usize].bus.busy_time()
+    }
+
+    /// When the channel bus next frees.
+    pub fn channel_free_at(&self, channel: u32) -> SimTime {
+        self.channels[channel as usize].bus.free_at()
+    }
+
+    /// Aggregate peak read bandwidth of the array in bytes/second.
+    pub fn peak_read_bw(&self) -> f64 {
+        self.geom.channels as f64 * self.timing.channel_read_bw()
+    }
+
+    /// Resets per-channel statistics (steady-state measurement windows).
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.stats = ChannelStats::default();
+            ch.bus.reset_stats();
+        }
+    }
+
+    /// Returns every chip and bus to idle at t = 0, keeping data (used
+    /// between dataset loading and the measured run).
+    pub fn reset_time(&mut self) {
+        for ch in &mut self.channels {
+            ch.stats = ChannelStats::default();
+            ch.bus.reset_time();
+            for chip in &mut ch.chips {
+                chip.reset_time();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(geom: &FlashGeometry, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; geom.page_bytes as usize])
+    }
+
+    fn addr(channel: u32, chip: u32, page: u32) -> PhysPageAddr {
+        PhysPageAddr {
+            channel,
+            chip,
+            plane: 0,
+            block: 0,
+            page,
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut arr = FlashArray::new(geom, FlashTiming::default());
+        arr.write_page(addr(0, 0, 0), filled(&geom, 0x5A), SimTime::ZERO)
+            .unwrap();
+        let (data, _) = arr.read_page(addr(0, 0, 0), SimTime::from_ms(1)).unwrap();
+        assert_eq!(data, filled(&geom, 0x5A));
+        assert_eq!(arr.channel_stats(0).page_reads, 1);
+        assert_eq!(arr.channel_stats(0).bytes_written, geom.page_bytes as u64);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut arr = FlashArray::new(geom, FlashTiming::default());
+        let bad = addr(99, 0, 0);
+        assert_eq!(
+            arr.read_page(bad, SimTime::ZERO).unwrap_err(),
+            FlashError::OutOfRange(bad)
+        );
+    }
+
+    #[test]
+    fn chip_interleaving_overlaps_sense() {
+        let geom = FlashGeometry::small_for_tests();
+        let timing = FlashTiming::default();
+        let mut arr = FlashArray::new(geom, timing);
+        arr.write_page(addr(0, 0, 0), filled(&geom, 1), SimTime::ZERO)
+            .unwrap();
+        arr.write_page(addr(0, 1, 0), filled(&geom, 2), SimTime::ZERO)
+            .unwrap();
+        // Issue both reads at the same late time: senses overlap on the two
+        // chips, transfers serialize on the bus.
+        let t0 = SimTime::from_ms(10);
+        let (_, a) = arr.read_page(addr(0, 0, 0), t0).unwrap();
+        let (_, b) = arr.read_page(addr(0, 1, 0), t0).unwrap();
+        let xfer = timing.transfer_time(geom.page_bytes);
+        assert_eq!(a, t0 + timing.t_read + xfer);
+        // Second page only pays the extra bus slot, not a second full tR.
+        assert_eq!(b, t0 + timing.t_read + xfer + xfer);
+    }
+
+    #[test]
+    fn same_chip_reads_serialize_on_tr() {
+        let geom = FlashGeometry::small_for_tests();
+        let timing = FlashTiming::default();
+        let mut arr = FlashArray::new(geom, timing);
+        arr.write_page(addr(0, 0, 0), filled(&geom, 1), SimTime::ZERO)
+            .unwrap();
+        arr.write_page(addr(0, 0, 1), filled(&geom, 2), SimTime::ZERO)
+            .unwrap();
+        let t0 = SimTime::from_ms(10);
+        let (_, a) = arr.read_page(addr(0, 0, 0), t0).unwrap();
+        let (_, b) = arr.read_page(addr(0, 0, 1), t0).unwrap();
+        assert!(b.since(a) >= timing.t_read);
+    }
+
+    #[test]
+    fn erase_enables_rewrite() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut arr = FlashArray::new(geom, FlashTiming::default());
+        arr.write_page(addr(1, 1, 0), filled(&geom, 1), SimTime::ZERO)
+            .unwrap();
+        assert!(arr.is_written(addr(1, 1, 0)));
+        arr.erase_block(1, 1, 0, 0, SimTime::ZERO).unwrap();
+        assert!(!arr.is_written(addr(1, 1, 0)));
+        arr.write_page(addr(1, 1, 0), filled(&geom, 9), SimTime::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn peak_bw_is_channels_times_rate() {
+        let arr = FlashArray::new(FlashGeometry::default(), FlashTiming::default());
+        assert!((arr.peak_read_bw() - 8.0e9).abs() < 1.0);
+    }
+}

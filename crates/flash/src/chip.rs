@@ -1,0 +1,244 @@
+//! A single flash chip: page store plus busy timeline.
+
+use crate::{FlashError, FlashGeometry, PhysPageAddr};
+use assasin_sim::{SimDur, SimTime, Timeline};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// One flash chip (logical die): stores page contents and models the chip's
+/// busy time for sense/program/erase operations.
+///
+/// Pages are stored sparsely; an unprogrammed page reads back as an error,
+/// matching NAND semantics where a page must be programmed after erase
+/// before it holds data.
+#[derive(Debug, Clone)]
+pub struct FlashChip {
+    /// Page contents, keyed by page index linear within this chip.
+    pages: HashMap<u64, Bytes>,
+    busy: Timeline,
+    reads: u64,
+    programs: u64,
+    erases: u64,
+}
+
+impl FlashChip {
+    /// Creates an erased chip.
+    pub fn new(channel: u32, chip: u32) -> Self {
+        FlashChip {
+            pages: HashMap::new(),
+            busy: Timeline::new(format!("chip-{channel}.{chip}")),
+            reads: 0,
+            programs: 0,
+            erases: 0,
+        }
+    }
+
+    fn page_key(geom: &FlashGeometry, addr: PhysPageAddr) -> u64 {
+        (addr.plane as u64 * geom.blocks_per_plane as u64 + addr.block as u64)
+            * geom.pages_per_block as u64
+            + addr.page as u64
+    }
+
+    /// Senses a page into the page register. Returns the page data and the
+    /// time the register is loaded (before any bus transfer).
+    pub fn sense(
+        &mut self,
+        geom: &FlashGeometry,
+        addr: PhysPageAddr,
+        ready: SimTime,
+        t_read: SimDur,
+    ) -> Result<(Bytes, SimTime), FlashError> {
+        let key = Self::page_key(geom, addr);
+        let data = self
+            .pages
+            .get(&key)
+            .cloned()
+            .ok_or(FlashError::UnwrittenPage(addr))?;
+        let grant = self.busy.acquire(ready, t_read);
+        self.reads += 1;
+        Ok((data, grant.end))
+    }
+
+    /// Programs a page from the page register; `data_ready` is when the bus
+    /// finished delivering data. Returns program completion time.
+    pub fn program(
+        &mut self,
+        geom: &FlashGeometry,
+        addr: PhysPageAddr,
+        data: Bytes,
+        data_ready: SimTime,
+        t_prog: SimDur,
+    ) -> Result<SimTime, FlashError> {
+        if data.len() != geom.page_bytes as usize {
+            return Err(FlashError::BadPageSize {
+                addr,
+                got: data.len(),
+                want: geom.page_bytes as usize,
+            });
+        }
+        let key = Self::page_key(geom, addr);
+        if self.pages.contains_key(&key) {
+            return Err(FlashError::ProgramWithoutErase(addr));
+        }
+        self.pages.insert(key, data);
+        let grant = self.busy.acquire(data_ready, t_prog);
+        self.programs += 1;
+        Ok(grant.end)
+    }
+
+    /// Erases a whole block, freeing its pages. Returns completion time.
+    pub fn erase_block(
+        &mut self,
+        geom: &FlashGeometry,
+        plane: u32,
+        block: u32,
+        ready: SimTime,
+        t_erase: SimDur,
+    ) -> SimTime {
+        let base = (plane as u64 * geom.blocks_per_plane as u64 + block as u64)
+            * geom.pages_per_block as u64;
+        for page in 0..geom.pages_per_block as u64 {
+            self.pages.remove(&(base + page));
+        }
+        let grant = self.busy.acquire(ready, t_erase);
+        self.erases += 1;
+        grant.end
+    }
+
+    /// True if the page currently holds programmed data.
+    pub fn is_written(&self, geom: &FlashGeometry, addr: PhysPageAddr) -> bool {
+        self.pages.contains_key(&Self::page_key(geom, addr))
+    }
+
+    /// When the chip next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.busy.free_at()
+    }
+
+    /// Cumulative busy time.
+    pub fn busy_time(&self) -> SimDur {
+        self.busy.busy_time()
+    }
+
+    /// (reads, programs, erases) counters, for wear accounting.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.reads, self.programs, self.erases)
+    }
+
+    /// Number of currently-programmed pages.
+    pub fn written_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns the chip to idle at t = 0, keeping data (between phases).
+    pub fn reset_time(&mut self) {
+        self.busy.reset_time();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(block: u32, page: u32) -> PhysPageAddr {
+        PhysPageAddr {
+            channel: 0,
+            chip: 0,
+            plane: 0,
+            block,
+            page,
+        }
+    }
+
+    fn page(geom: &FlashGeometry, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; geom.page_bytes as usize])
+    }
+
+    #[test]
+    fn program_then_sense_roundtrips() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(0, 0);
+        let t = FlashTimingFixture::default();
+        chip.program(&geom, addr(0, 0), page(&geom, 0xAB), SimTime::ZERO, t.prog)
+            .unwrap();
+        let (data, done) = chip.sense(&geom, addr(0, 0), SimTime::ZERO, t.read).unwrap();
+        assert_eq!(data, page(&geom, 0xAB));
+        // Sense queues behind the in-flight program on the same chip.
+        assert_eq!(done, SimTime::ZERO + t.prog + t.read);
+    }
+
+    #[test]
+    fn sense_unwritten_fails() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(0, 0);
+        let err = chip
+            .sense(&geom, addr(0, 1), SimTime::ZERO, SimDur::from_us(20))
+            .unwrap_err();
+        assert_eq!(err, FlashError::UnwrittenPage(addr(0, 1)));
+    }
+
+    #[test]
+    fn double_program_requires_erase() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(0, 0);
+        let t = FlashTimingFixture::default();
+        chip.program(&geom, addr(1, 0), page(&geom, 1), SimTime::ZERO, t.prog)
+            .unwrap();
+        let err = chip
+            .program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
+            .unwrap_err();
+        assert_eq!(err, FlashError::ProgramWithoutErase(addr(1, 0)));
+        chip.erase_block(&geom, 0, 1, SimTime::ZERO, t.erase);
+        chip.program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
+            .unwrap();
+        let (data, _) = chip.sense(&geom, addr(1, 0), SimTime::ZERO, t.read).unwrap();
+        assert_eq!(data, page(&geom, 2));
+    }
+
+    #[test]
+    fn bad_page_size_rejected() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(0, 0);
+        let err = chip
+            .program(
+                &geom,
+                addr(0, 0),
+                Bytes::from_static(b"short"),
+                SimTime::ZERO,
+                SimDur::from_us(200),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BadPageSize { got: 5, .. }));
+    }
+
+    #[test]
+    fn erase_clears_only_target_block() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(0, 0);
+        let t = FlashTimingFixture::default();
+        chip.program(&geom, addr(0, 0), page(&geom, 1), SimTime::ZERO, t.prog)
+            .unwrap();
+        chip.program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
+            .unwrap();
+        chip.erase_block(&geom, 0, 0, SimTime::ZERO, t.erase);
+        assert!(!chip.is_written(&geom, addr(0, 0)));
+        assert!(chip.is_written(&geom, addr(1, 0)));
+        assert_eq!(chip.op_counts().2, 1);
+    }
+
+    struct FlashTimingFixture {
+        read: SimDur,
+        prog: SimDur,
+        erase: SimDur,
+    }
+
+    impl Default for FlashTimingFixture {
+        fn default() -> Self {
+            FlashTimingFixture {
+                read: SimDur::from_us(20),
+                prog: SimDur::from_us(200),
+                erase: SimDur::from_ms(2),
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Flash operation errors.
+
+use crate::PhysPageAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by flash array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The address does not exist in the configured geometry.
+    OutOfRange(PhysPageAddr),
+    /// A read targeted a page that was never programmed since erase.
+    UnwrittenPage(PhysPageAddr),
+    /// NAND cannot program a page twice without an intervening block erase.
+    ProgramWithoutErase(PhysPageAddr),
+    /// Page data length does not match the geometry's page size.
+    BadPageSize {
+        /// Offending address.
+        addr: PhysPageAddr,
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes required.
+        want: usize,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::OutOfRange(a) => write!(f, "address {a} outside flash geometry"),
+            FlashError::UnwrittenPage(a) => write!(f, "read of unwritten page {a}"),
+            FlashError::ProgramWithoutErase(a) => {
+                write!(f, "program of already-written page {a} without erase")
+            }
+            FlashError::BadPageSize { addr, got, want } => {
+                write!(f, "page {addr} data is {got} bytes, geometry wants {want}")
+            }
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let a = PhysPageAddr {
+            channel: 0,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let msg = FlashError::UnwrittenPage(a).to_string();
+        assert!(msg.starts_with("read of unwritten page"));
+        let msg = FlashError::BadPageSize {
+            addr: a,
+            got: 3,
+            want: 4096,
+        }
+        .to_string();
+        assert!(msg.contains("3 bytes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<FlashError>();
+    }
+}

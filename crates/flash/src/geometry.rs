@@ -1,0 +1,215 @@
+//! Flash array geometry and physical page addressing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical organization of the flash array (Section II-B, Figure 3).
+///
+/// The default matches the paper's evaluated SSD (Section VI-A): eight
+/// channels, each able to sustain 1 GB/s with several interleaved chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Number of flash channels.
+    pub channels: u32,
+    /// Chips (logical dies) sharing each channel bus.
+    pub chips_per_channel: u32,
+    /// Planes per chip.
+    pub planes_per_chip: u32,
+    /// Erase blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Bytes per flash page.
+    pub page_bytes: u32,
+}
+
+impl FlashGeometry {
+    /// Pages in one plane.
+    pub fn pages_per_plane(&self) -> u64 {
+        self.blocks_per_plane as u64 * self.pages_per_block as u64
+    }
+
+    /// Pages in one chip.
+    pub fn pages_per_chip(&self) -> u64 {
+        self.planes_per_chip as u64 * self.pages_per_plane()
+    }
+
+    /// Pages in one channel.
+    pub fn pages_per_channel(&self) -> u64 {
+        self.chips_per_channel as u64 * self.pages_per_chip()
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.channels as u64 * self.pages_per_channel()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// True if `addr` names a page inside this geometry.
+    pub fn contains(&self, addr: PhysPageAddr) -> bool {
+        addr.channel < self.channels
+            && addr.chip < self.chips_per_channel
+            && addr.plane < self.planes_per_chip
+            && addr.block < self.blocks_per_plane
+            && addr.page < self.pages_per_block
+    }
+
+    /// Linearizes a physical address to `0..total_pages()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside this geometry.
+    pub fn linear_index(&self, addr: PhysPageAddr) -> u64 {
+        assert!(self.contains(addr), "address {addr} outside geometry");
+        (((addr.channel as u64 * self.chips_per_channel as u64 + addr.chip as u64)
+            * self.planes_per_chip as u64
+            + addr.plane as u64)
+            * self.blocks_per_plane as u64
+            + addr.block as u64)
+            * self.pages_per_block as u64
+            + addr.page as u64
+    }
+
+    /// Inverse of [`FlashGeometry::linear_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_pages()`.
+    pub fn addr_from_linear(&self, index: u64) -> PhysPageAddr {
+        assert!(index < self.total_pages(), "linear index out of range");
+        let page = (index % self.pages_per_block as u64) as u32;
+        let rest = index / self.pages_per_block as u64;
+        let block = (rest % self.blocks_per_plane as u64) as u32;
+        let rest = rest / self.blocks_per_plane as u64;
+        let plane = (rest % self.planes_per_chip as u64) as u32;
+        let rest = rest / self.planes_per_chip as u64;
+        let chip = (rest % self.chips_per_channel as u64) as u32;
+        let channel = (rest / self.chips_per_channel as u64) as u32;
+        PhysPageAddr {
+            channel,
+            chip,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// A tiny geometry for unit tests: 2 channels x 2 chips, 64 KiB total.
+    pub fn small_for_tests() -> Self {
+        FlashGeometry {
+            channels: 2,
+            chips_per_channel: 2,
+            planes_per_chip: 1,
+            blocks_per_plane: 2,
+            pages_per_block: 2,
+            page_bytes: 4096,
+        }
+    }
+}
+
+impl Default for FlashGeometry {
+    /// The paper's evaluated array: 8 channels, 8 chips/channel, 4 KiB
+    /// pages. Block/plane counts are sized for multi-GiB experiments while
+    /// staying lazy in host memory.
+    fn default() -> Self {
+        FlashGeometry {
+            channels: 8,
+            chips_per_channel: 8,
+            planes_per_chip: 2,
+            blocks_per_plane: 512,
+            pages_per_block: 256,
+            page_bytes: 4096,
+        }
+    }
+}
+
+/// A physical flash page location (Section II-A: "a flash chip ID and the
+/// specific location inside the chip").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysPageAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Chip within the channel.
+    pub chip: u32,
+    /// Plane within the chip.
+    pub plane: u32,
+    /// Erase block within the plane.
+    pub block: u32,
+    /// Page within the block.
+    pub page: u32,
+}
+
+impl fmt::Display for PhysPageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}.chip{}.pl{}.blk{}.pg{}",
+            self.channel, self.chip, self.plane, self.block, self.page
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_capacity() {
+        let g = FlashGeometry::default();
+        // 8 * 8 * 2 * 512 * 256 pages * 4KiB = 64 GiB
+        assert_eq!(g.capacity_bytes(), 64u64 << 30);
+    }
+
+    #[test]
+    fn linear_roundtrip_exhaustive_small() {
+        let g = FlashGeometry::small_for_tests();
+        for i in 0..g.total_pages() {
+            let a = g.addr_from_linear(i);
+            assert!(g.contains(a));
+            assert_eq!(g.linear_index(a), i);
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let g = FlashGeometry::small_for_tests();
+        let bad = PhysPageAddr {
+            channel: g.channels,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        assert!(!g.contains(bad));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn linear_index_panics_out_of_range() {
+        let g = FlashGeometry::small_for_tests();
+        let bad = PhysPageAddr {
+            channel: 9,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let _ = g.linear_index(bad);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = PhysPageAddr {
+            channel: 1,
+            chip: 2,
+            plane: 0,
+            block: 3,
+            page: 4,
+        };
+        assert_eq!(a.to_string(), "ch1.chip2.pl0.blk3.pg4");
+    }
+}

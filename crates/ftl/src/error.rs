@@ -1,0 +1,71 @@
+//! FTL errors.
+
+use crate::Lpa;
+use assasin_flash::FlashError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by FTL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// Read of a logical page that was never written.
+    Unmapped(Lpa),
+    /// The logical address exceeds the exported capacity.
+    OutOfCapacity(Lpa),
+    /// The drive has no free blocks left even after garbage collection.
+    DeviceFull,
+    /// An underlying flash operation failed (an FTL invariant violation).
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::Unmapped(lpa) => write!(f, "read of unmapped logical page {lpa}"),
+            FtlError::OutOfCapacity(lpa) => {
+                write!(f, "logical page {lpa} exceeds exported capacity")
+            }
+            FtlError::DeviceFull => write!(f, "no free blocks available after garbage collection"),
+            FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chains_to_flash_error() {
+        let e = FtlError::from(FlashError::OutOfRange(assasin_flash::PhysPageAddr {
+            channel: 0,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        }));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("flash operation failed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<FtlError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! Flash translation layer (FTL).
+//!
+//! The FTL maintains the logical-to-physical page mapping, allocates
+//! physical pages across channels and chips, performs garbage collection and
+//! wear-aware block selection (Section II-A). Preserving the FTL's
+//! *independence* — no computational-storage-specific layout constraints —
+//! is one of ASSASIN's two key advantages over channel-local architectures
+//! (Section V-A), and the experiments of Sections VI-D/VI-E rely on the FTL
+//! behaviours modeled here:
+//!
+//! * the default round-robin striped allocator spreads pages evenly across
+//!   channels, which is what gives Figure 18 its balanced channel
+//!   throughput;
+//! * the [`placement::Placement::Skewed`] policy deliberately concentrates
+//!   data in some channels to produce the skewed layouts of Section VI-E
+//!   (our Figure 19 experiment).
+//!
+//! ```
+//! use assasin_flash::{FlashArray, FlashGeometry, FlashTiming};
+//! use assasin_ftl::{Ftl, Lpa};
+//! use assasin_sim::SimTime;
+//!
+//! let geom = FlashGeometry::small_for_tests();
+//! let mut array = FlashArray::new(geom, FlashTiming::default());
+//! let mut ftl = Ftl::new(geom);
+//! let page = vec![1u8; geom.page_bytes as usize];
+//! ftl.write(&mut array, Lpa(0), page.clone().into(), SimTime::ZERO)?;
+//! let (data, _t) = ftl.read(&mut array, Lpa(0), SimTime::ZERO)?;
+//! assert_eq!(&data[..], &page[..]);
+//! # Ok::<(), assasin_ftl::FtlError>(())
+//! ```
+
+mod error;
+mod mapping;
+pub mod placement;
+pub mod skew;
+
+pub use error::FtlError;
+pub use mapping::{Ftl, FtlStats, Lpa};

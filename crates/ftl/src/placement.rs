@@ -1,0 +1,107 @@
+//! Physical placement policies for new page writes.
+
+use crate::skew::skewed_channel_weights;
+
+/// How the FTL chooses the channel for the next page allocation.
+///
+/// The paper's point (Section VI-D/VI-E) is that a *normal* FTL stripes
+/// pages across channels for storage performance, independent of any
+/// computational-storage considerations; ASSASIN's crossbar then works with
+/// whatever layout the FTL chose. `Skewed` exists to reproduce the
+/// adversarial layouts of Section VI-E.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Placement {
+    /// Round-robin striping across channels (a normal FTL's behaviour).
+    #[default]
+    StripeRoundRobin,
+    /// Weighted channel selection; weight `w[i]` is the relative share of
+    /// pages steered to channel `i`. Produced by [`skewed`](Placement::skewed).
+    Skewed(Vec<f64>),
+}
+
+impl Placement {
+    /// A placement with the paper's skew metric equal to `skew` across
+    /// `channels` channels (Section VI-E):
+    ///
+    /// `Skew = (max_i(D_i / avg(D)) - 1) / (n - 1)`, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= skew <= 1.0` and `channels >= 2`.
+    pub fn skewed(channels: u32, skew: f64) -> Self {
+        Placement::Skewed(skewed_channel_weights(channels, skew))
+    }
+
+    /// Channel for the `n`-th page of a stream of `total` pages.
+    ///
+    /// For `StripeRoundRobin` this is `n % channels`. For `Skewed` the
+    /// stream is partitioned into contiguous weighted runs, matching
+    /// "the amount of to-be-processed data in the i-th channel" from the
+    /// paper's skew definition.
+    pub fn channel_for(&self, n: u64, total: u64, channels: u32) -> u32 {
+        match self {
+            Placement::StripeRoundRobin => (n % channels as u64) as u32,
+            Placement::Skewed(weights) => {
+                assert_eq!(weights.len(), channels as usize, "weight count mismatch");
+                let total = total.max(1);
+                let frac = n as f64 / total as f64;
+                let mut acc = 0.0;
+                for (i, w) in weights.iter().enumerate() {
+                    acc += w;
+                    if frac < acc {
+                        return i as u32;
+                    }
+                }
+                channels - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::measure_skew;
+
+    fn distribute(p: &Placement, total: u64, channels: u32) -> Vec<u64> {
+        let mut counts = vec![0u64; channels as usize];
+        for n in 0..total {
+            counts[p.channel_for(n, total, channels) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let counts = distribute(&Placement::StripeRoundRobin, 8000, 8);
+        assert!(counts.iter().all(|&c| c == 1000));
+        assert!(measure_skew(&counts) < 1e-9);
+    }
+
+    #[test]
+    fn skewed_hits_requested_skew() {
+        for &target in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = Placement::skewed(8, target);
+            let counts = distribute(&p, 80_000, 8);
+            let got = measure_skew(&counts);
+            assert!(
+                (got - target).abs() < 0.02,
+                "target {target} got {got} ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_skew_uses_one_channel() {
+        let p = Placement::skewed(8, 1.0);
+        let counts = distribute(&p, 8000, 8);
+        assert_eq!(counts[0], 8000);
+        assert!(counts[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew")]
+    fn invalid_skew_rejected() {
+        let _ = Placement::skewed(8, 1.5);
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's flash-layout skew metric (Section VI-E).
+
+/// Measures the skew of a per-channel data distribution:
+///
+/// `Skew = (max_i(D_i / avg(D)) - 1) / (n - 1)`
+///
+/// which is 0 for a uniform layout and 1 when all data sits in one channel.
+/// (The paper states `Skew ∈ [0, 1]`; this is the normalization consistent
+/// with that range and with its "no skew" / "extreme skew" endpoints.)
+///
+/// ```
+/// use assasin_ftl::skew::measure_skew;
+/// assert_eq!(measure_skew(&[100, 100, 100, 100]), 0.0);
+/// assert_eq!(measure_skew(&[400, 0, 0, 0]), 1.0);
+/// ```
+pub fn measure_skew(per_channel: &[u64]) -> f64 {
+    let n = per_channel.len();
+    assert!(n >= 2, "skew needs at least two channels");
+    let total: u64 = per_channel.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let avg = total as f64 / n as f64;
+    let max = *per_channel.iter().max().expect("non-empty") as f64;
+    ((max / avg) - 1.0) / (n as f64 - 1.0)
+}
+
+/// Channel weights realizing a target skew: channel 0 receives
+/// `avg * (1 + skew*(n-1))` worth of data and the remainder is spread
+/// evenly, so `measure_skew` of the resulting layout equals `skew`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= skew <= 1.0` and `channels >= 2`.
+pub fn skewed_channel_weights(channels: u32, skew: f64) -> Vec<f64> {
+    assert!(channels >= 2, "skew needs at least two channels");
+    assert!((0.0..=1.0).contains(&skew), "skew must be within [0, 1]");
+    let n = channels as f64;
+    let hot = (1.0 + skew * (n - 1.0)) / n;
+    let rest = (1.0 - hot) / (n - 1.0);
+    let mut w = vec![rest; channels as usize];
+    w[0] = hot;
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &s in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let w = skewed_channel_weights(8, s);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(w.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn weights_realize_requested_skew() {
+        for &s in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let w = skewed_channel_weights(8, s);
+            // Convert weights to a large integer layout and measure.
+            let d: Vec<u64> = w.iter().map(|x| (x * 1e9) as u64).collect();
+            let got = measure_skew(&d);
+            assert!((got - s).abs() < 1e-6, "target {s} got {got}");
+        }
+    }
+
+    #[test]
+    fn measure_skew_of_zero_data_is_zero() {
+        assert_eq!(measure_skew(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two channels")]
+    fn single_channel_rejected() {
+        let _ = measure_skew(&[5]);
+    }
+}

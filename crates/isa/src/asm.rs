@@ -1,0 +1,630 @@
+//! Programmatic assembler with label resolution.
+
+use crate::instr::{AluOp, BranchCond};
+use crate::{AsmError, Instr, Program, Reg};
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds [`Program`]s instruction by instruction.
+///
+/// Errors (immediates out of range, unbound labels, bad stream ids) are
+/// collected and reported by [`Assembler::finish`], keeping the emitting
+/// code linear — the same style compiler back-ends use.
+///
+/// ```
+/// use assasin_isa::{Assembler, Reg};
+/// let mut asm = Assembler::with_name("double");
+/// asm.li(Reg::A1, 2);
+/// asm.mul(Reg::A0, Reg::A0, Reg::A1);
+/// asm.halt();
+/// let p = asm.finish()?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), assasin_isa::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, usize)>,
+    error: Option<AsmError>,
+}
+
+const IMM12_MIN: i64 = -2048;
+const IMM12_MAX: i64 = 2047;
+
+impl Assembler {
+    /// The architectural stream count (S = 8, Table IV).
+    pub const MAX_STREAMS: u8 = 8;
+
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::with_name("anonymous")
+    }
+
+    /// Creates an empty assembler for a named program.
+    pub fn with_name(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Current instruction index (where the next emitted instruction goes).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        if self.labels[label.0].is_some() {
+            self.record(AsmError::Rebound(label.0));
+            return;
+        }
+        self.labels[label.0] = Some(self.here());
+    }
+
+    fn record(&mut self, e: AsmError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    fn check_imm12(&mut self, v: i64) -> i32 {
+        if !(IMM12_MIN..=IMM12_MAX).contains(&v) {
+            self.record(AsmError::ImmOutOfRange { value: v, bits: 12 });
+        }
+        v as i32
+    }
+
+    fn check_shamt(&mut self, v: i64) -> i32 {
+        if !(0..32).contains(&v) {
+            self.record(AsmError::ImmOutOfRange { value: v, bits: 5 });
+        }
+        v as i32
+    }
+
+    fn check_sid(&mut self, sid: u8) -> u8 {
+        if sid >= Self::MAX_STREAMS {
+            self.record(AsmError::BadStreamId(sid));
+        }
+        sid
+    }
+
+    fn check_width(&mut self, w: u8) -> u8 {
+        if !matches!(w, 1 | 2 | 4) {
+            self.record(AsmError::BadWidth(w));
+        }
+        w
+    }
+
+    fn target_of(&mut self, label: Label) -> u32 {
+        match self.labels[label.0] {
+            Some(t) => t,
+            None => {
+                self.fixups.push((self.instrs.len(), label.0));
+                0
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- ALU r/r
+
+    fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+    /// `rd = rs1 << (rs2 & 31)`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sll, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 as i32) < (rs2 as i32)`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Slt, rd, rs1, rs2);
+    }
+    /// `rd = rs1 < rs2` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sltu, rd, rs1, rs2);
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Xor, rd, rs1, rs2);
+    }
+    /// `rd = rs1 >> (rs2 & 31)` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Srl, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 as i32) >> (rs2 & 31)`
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sra, rd, rs1, rs2);
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Or, rd, rs1, rs2);
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::And, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 * rs2) as u32`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+    /// Signed upper 32 bits of the 64-bit product.
+    pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mulh, rd, rs1, rs2);
+    }
+    /// Unsigned upper 32 bits of the 64-bit product.
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mulhu, rd, rs1, rs2);
+    }
+    /// Signed division (RISC-V semantics: div by zero yields all-ones).
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Div, rd, rs1, rs2);
+    }
+    /// Unsigned division.
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Divu, rd, rs1, rs2);
+    }
+    /// Signed remainder.
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Rem, rd, rs1, rs2);
+    }
+    /// Unsigned remainder.
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Remu, rd, rs1, rs2);
+    }
+
+    // ------------------------------------------------------------ ALU r/imm
+
+    fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) {
+        let imm = self.check_imm12(imm);
+        self.emit(Instr::AluImm { op, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Add, rd, rs1, imm);
+    }
+    /// `rd = (rs1 as i32) < imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Slt, rd, rs1, imm);
+    }
+    /// `rd = rs1 < imm as u32`
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Sltu, rd, rs1, imm);
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Xor, rd, rs1, imm);
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::Or, rd, rs1, imm);
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alu_imm(AluOp::And, rd, rs1, imm);
+    }
+    /// `rd = rs1 << shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        let imm = self.check_shamt(shamt);
+        self.emit(Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+    /// `rd = rs1 >> shamt` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        let imm = self.check_shamt(shamt);
+        self.emit(Instr::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+    /// `rd = (rs1 as i32) >> shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i64) {
+        let imm = self.check_shamt(shamt);
+        self.emit(Instr::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+    /// `rd = imm << 12`
+    pub fn lui(&mut self, rd: Reg, imm20: u32) {
+        if imm20 > 0xF_FFFF {
+            self.record(AsmError::ImmOutOfRange {
+                value: imm20 as i64,
+                bits: 20,
+            });
+        }
+        self.emit(Instr::Lui { rd, imm: imm20 });
+    }
+
+    // ------------------------------------------------------------- pseudos
+
+    /// Loads an arbitrary 32-bit constant (expands to `lui`+`addi` when it
+    /// does not fit in 12 bits).
+    pub fn li(&mut self, rd: Reg, value: i64) {
+        let v = value as i32;
+        if (IMM12_MIN..=IMM12_MAX).contains(&(v as i64)) {
+            self.addi(rd, Reg::ZERO, v as i64);
+            return;
+        }
+        // Standard RISC-V material: hi corrects for addi's sign extension.
+        let hi = ((v as u32).wrapping_add(0x800)) >> 12;
+        let lo = v.wrapping_sub((hi << 12) as i32);
+        self.lui(rd, hi);
+        if lo != 0 {
+            self.addi(rd, rd, lo as i64);
+        }
+    }
+
+    /// `rd = rs`
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.addi(Reg::ZERO, Reg::ZERO, 0);
+    }
+
+    /// Unconditional jump.
+    pub fn j(&mut self, label: Label) {
+        let target = self.target_of(label);
+        self.emit(Instr::Jal {
+            rd: Reg::ZERO,
+            target,
+        });
+    }
+
+    /// Branch if `rs == 0`.
+    pub fn beqz(&mut self, rs: Reg, label: Label) {
+        self.beq(rs, Reg::ZERO, label);
+    }
+
+    /// Branch if `rs != 0`.
+    pub fn bnez(&mut self, rs: Reg, label: Label) {
+        self.bne(rs, Reg::ZERO, label);
+    }
+
+    // ------------------------------------------------------------- memory
+
+    /// Signed byte load.
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Load {
+            width: 1,
+            signed: true,
+            rd,
+            base,
+            offset,
+        });
+    }
+    /// Unsigned byte load.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Load {
+            width: 1,
+            signed: false,
+            rd,
+            base,
+            offset,
+        });
+    }
+    /// Signed halfword load.
+    pub fn lh(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Load {
+            width: 2,
+            signed: true,
+            rd,
+            base,
+            offset,
+        });
+    }
+    /// Unsigned halfword load.
+    pub fn lhu(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Load {
+            width: 2,
+            signed: false,
+            rd,
+            base,
+            offset,
+        });
+    }
+    /// Word load.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Load {
+            width: 4,
+            signed: true,
+            rd,
+            base,
+            offset,
+        });
+    }
+    /// Byte store.
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Store {
+            width: 1,
+            rs,
+            base,
+            offset,
+        });
+    }
+    /// Halfword store.
+    pub fn sh(&mut self, rs: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Store {
+            width: 2,
+            rs,
+            base,
+            offset,
+        });
+    }
+    /// Word store.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Store {
+            width: 4,
+            rs,
+            base,
+            offset,
+        });
+    }
+
+    // ------------------------------------------------------------ branches
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) {
+        let target = self.target_of(label);
+        self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        });
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+    /// Branch if unsigned less-than.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+
+    /// Jump and link.
+    pub fn jal(&mut self, rd: Reg, label: Label) {
+        let target = self.target_of(label);
+        self.emit(Instr::Jal { rd, target });
+    }
+
+    /// Indirect jump and link (`offset` in instructions).
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) {
+        let offset = self.check_imm12(offset);
+        self.emit(Instr::Jalr { rd, base, offset });
+    }
+
+    /// Return through `ra`.
+    pub fn ret(&mut self) {
+        self.emit(Instr::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            offset: 0,
+        });
+    }
+
+    // ------------------------------------------------------- stream & misc
+
+    /// Stops the core.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// `StreamLoad rd, sid, width` (Table III).
+    pub fn stream_load(&mut self, rd: Reg, sid: u8, width: u8) {
+        let sid = self.check_sid(sid);
+        let width = self.check_width(width);
+        self.emit(Instr::StreamLoad { rd, sid, width });
+    }
+
+    /// `StreamStore sid, width, rs` (Table III).
+    pub fn stream_store(&mut self, sid: u8, width: u8, rs: Reg) {
+        let sid = self.check_sid(sid);
+        let width = self.check_width(width);
+        self.emit(Instr::StreamStore { sid, width, rs });
+    }
+
+    /// Non-blocking available-bytes query.
+    pub fn stream_avail(&mut self, rd: Reg, sid: u8) {
+        let sid = self.check_sid(sid);
+        self.emit(Instr::StreamAvail { rd, sid });
+    }
+
+    /// End-of-stream query.
+    pub fn stream_eos(&mut self, rd: Reg, sid: u8) {
+        let sid = self.check_sid(sid);
+        self.emit(Instr::StreamEos { rd, sid });
+    }
+
+    /// Ping-pong staging-buffer swap (AssasinSp).
+    pub fn buf_swap(&mut self, bank: u8) {
+        self.emit(Instr::BufSwap { bank });
+    }
+
+    /// CSR read.
+    pub fn csrr(&mut self, rd: Reg, csr: u16) {
+        self.emit(Instr::CsrR { rd, csr });
+    }
+
+    // -------------------------------------------------------------- finish
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first recorded emission error, or the first label that
+    /// was referenced but never bound.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label].ok_or(AsmError::UnboundLabel(label))?;
+            match &mut self.instrs[at] {
+                Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-branch {other}"),
+            }
+        }
+        Ok(Program::from_instrs(self.name, self.instrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let fwd = asm.label();
+        let back = asm.label();
+        asm.bind(back);
+        asm.addi(Reg::A0, Reg::A0, 1);
+        asm.beq(Reg::A0, Reg::A1, fwd);
+        asm.j(back);
+        asm.bind(fwd);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(
+            p.fetch(1),
+            Some(Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                target: 3,
+            })
+        );
+        assert_eq!(
+            p.fetch(2),
+            Some(Instr::Jal {
+                rd: Reg::ZERO,
+                target: 0
+            })
+        );
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.label();
+        asm.j(l);
+        assert_eq!(asm.finish().unwrap_err(), AsmError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+        assert_eq!(asm.finish().unwrap_err(), AsmError::Rebound(0));
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        let mut asm = Assembler::new();
+        asm.addi(Reg::A0, Reg::A0, 4096);
+        assert!(matches!(
+            asm.finish().unwrap_err(),
+            AsmError::ImmOutOfRange { bits: 12, .. }
+        ));
+    }
+
+    #[test]
+    fn li_expands_large_constants() {
+        for &v in &[0i64, 1, -1, 2047, -2048, 2048, 0x1234_5678, -0x7654_3210, u32::MAX as i64] {
+            let mut asm = Assembler::new();
+            asm.li(Reg::A0, v);
+            let p = asm.finish().unwrap();
+            // Emulate the instruction sequence.
+            let mut reg = 0u32;
+            for i in p.iter() {
+                match *i {
+                    Instr::Lui { imm, .. } => reg = imm << 12,
+                    Instr::AluImm { imm, .. } => reg = reg.wrapping_add(imm as u32),
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            assert_eq!(reg, v as u32, "li {v}");
+        }
+    }
+
+    #[test]
+    fn stream_validation() {
+        let mut asm = Assembler::new();
+        asm.stream_load(Reg::A0, 9, 4);
+        assert_eq!(asm.finish().unwrap_err(), AsmError::BadStreamId(9));
+
+        let mut asm = Assembler::new();
+        asm.stream_store(0, 3, Reg::A0);
+        assert_eq!(asm.finish().unwrap_err(), AsmError::BadWidth(3));
+    }
+
+    #[test]
+    fn shift_amount_enforced() {
+        let mut asm = Assembler::new();
+        asm.slli(Reg::A0, Reg::A0, 32);
+        assert!(matches!(
+            asm.finish().unwrap_err(),
+            AsmError::ImmOutOfRange { bits: 5, .. }
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Assembler and decoder errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    Rebound(usize),
+    /// An immediate exceeded its encodable range.
+    ImmOutOfRange {
+        /// Offending value.
+        value: i64,
+        /// Bits available.
+        bits: u32,
+    },
+    /// Stream id exceeds the 8-stream architectural limit.
+    BadStreamId(u8),
+    /// Unsupported access width.
+    BadWidth(u8),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l} referenced but never bound"),
+            AsmError::Rebound(l) => write!(f, "label {l} bound twice"),
+            AsmError::ImmOutOfRange { value, bits } => {
+                write!(f, "immediate {value} does not fit in {bits} bits")
+            }
+            AsmError::BadStreamId(s) => write!(f, "stream id {s} exceeds architectural limit"),
+            AsmError::BadWidth(w) => write!(f, "unsupported access width {w}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Errors reported while decoding a binary instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AsmError>();
+        assert_bounds::<DecodeError>();
+    }
+}

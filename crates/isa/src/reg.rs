@@ -1,0 +1,126 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 32 general-purpose registers. `x0` is hardwired to zero, as
+/// in RISC-V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved 0 / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg(17);
+    /// Saved 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved 7.
+    pub const S7: Reg = Reg(23);
+    /// Saved 8.
+    pub const S8: Reg = Reg(24);
+    /// Saved 9.
+    pub const S9: Reg = Reg(25);
+    /// Saved 10.
+    pub const S10: Reg = Reg(26);
+    /// Saved 11.
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// Builds a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, 0–31.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True for `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::T6.to_string(), "t6");
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_32_rejected() {
+        let _ = Reg::new(32);
+    }
+}

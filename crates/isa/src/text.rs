@@ -1,0 +1,569 @@
+//! Textual assembly: parse the disassembler's output format back into
+//! programs.
+//!
+//! The syntax is exactly what [`Program`]'s `Display` prints — one
+//! instruction per line, `;`-prefixed comments, branch/jump targets as
+//! `@index` — plus named labels (`name:` definitions, `@name` references)
+//! for hand-written sources:
+//!
+//! ```
+//! use assasin_isa::parse_program;
+//! let p = parse_program("sum", r"
+//!     li   a1, 0
+//! loop:
+//!     stream.load a0, s0, 1
+//!     add  a1, a1, a0
+//!     jal  zero, @loop
+//! ")?;
+//! assert_eq!(p.len(), 4);
+//! # Ok::<(), assasin_isa::TextError>(())
+//! ```
+
+use crate::instr::{AluOp, BranchCond};
+use crate::{Instr, Program, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A textual-assembly parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TextError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, TextError> {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    if let Some(i) = NAMES.iter().position(|&n| n == tok) {
+        return Ok(Reg::new(i as u8));
+    }
+    if let Some(n) = tok.strip_prefix('x') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 32 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    err(line, format!("unknown register `{tok}`"))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, TextError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate `{tok}`")),
+    }
+}
+
+/// `off(base)` operands.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), TextError> {
+    let Some(open) = tok.find('(') else {
+        return err(line, format!("expected off(base), got `{tok}`"));
+    };
+    if !tok.ends_with(')') {
+        return err(line, format!("expected off(base), got `{tok}`"));
+    }
+    let off = parse_imm(&tok[..open], line)?;
+    let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((base, off))
+}
+
+fn parse_sid(tok: &str, line: usize) -> Result<u8, TextError> {
+    let Some(n) = tok.strip_prefix('s') else {
+        return err(line, format!("expected stream id `sN`, got `{tok}`"));
+    };
+    match n.parse::<u8>() {
+        Ok(v) if v < 8 => Ok(v),
+        _ => err(line, format!("bad stream id `{tok}`")),
+    }
+}
+
+enum Target {
+    Index(u32),
+    Name(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, TextError> {
+    let Some(t) = tok.strip_prefix('@') else {
+        return err(line, format!("expected @target, got `{tok}`"));
+    };
+    if let Ok(i) = t.parse::<u32>() {
+        Ok(Target::Index(i))
+    } else if !t.is_empty() {
+        Ok(Target::Name(t.to_string()))
+    } else {
+        err(line, "empty branch target")
+    }
+}
+
+enum Parsed {
+    Ready(Instr),
+    /// Needs a label patched into the `target` field.
+    Branch(Instr, String),
+}
+
+/// Parses textual assembly into a [`Program`].
+///
+/// # Errors
+///
+/// Reports the first syntax error, unknown mnemonic, out-of-range operand
+/// or undefined label, with its line number.
+pub fn parse_program(name: &str, source: &str) -> Result<Program, TextError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut parsed: Vec<(usize, Parsed)> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments (`;` and leading `N:` listing indices).
+        let mut line = raw;
+        if let Some(c) = line.find(';') {
+            line = &line[..c];
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Label definition?
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            // A bare listing index like `12:` is ignored; names register.
+            if label.parse::<u32>().is_err()
+                && labels
+                    .insert(label.to_string(), parsed.len() as u32)
+                    .is_some()
+            {
+                return err(line_no, format!("label `{label}` defined twice"));
+            }
+            continue;
+        }
+        // Strip a leading listing index (`  3: add ...`).
+        let line = match line.split_once(':') {
+            Some((maybe_idx, rest)) if maybe_idx.trim().parse::<u32>().is_ok() => rest.trim(),
+            _ => line,
+        };
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), TextError> {
+            if nops == n {
+                Ok(())
+            } else {
+                err(line_no, format!("`{mnemonic}` wants {n} operands, got {nops}"))
+            }
+        };
+
+        let alu3 = |op: AluOp, ops: &[&str]| -> Result<Parsed, TextError> {
+            Ok(Parsed::Ready(Instr::Alu {
+                op,
+                rd: parse_reg(ops[0], line_no)?,
+                rs1: parse_reg(ops[1], line_no)?,
+                rs2: parse_reg(ops[2], line_no)?,
+            }))
+        };
+        let alui = |op: AluOp, ops: &[&str]| -> Result<Parsed, TextError> {
+            Ok(Parsed::Ready(Instr::AluImm {
+                op,
+                rd: parse_reg(ops[0], line_no)?,
+                rs1: parse_reg(ops[1], line_no)?,
+                imm: parse_imm(ops[2], line_no)? as i32,
+            }))
+        };
+        let load = |width: u8, signed: bool, ops: &[&str]| -> Result<Parsed, TextError> {
+            let (base, offset) = parse_mem_operand(ops[1], line_no)?;
+            Ok(Parsed::Ready(Instr::Load {
+                width,
+                signed,
+                rd: parse_reg(ops[0], line_no)?,
+                base,
+                offset: offset as i32,
+            }))
+        };
+        let store = |width: u8, ops: &[&str]| -> Result<Parsed, TextError> {
+            let (base, offset) = parse_mem_operand(ops[1], line_no)?;
+            Ok(Parsed::Ready(Instr::Store {
+                width,
+                rs: parse_reg(ops[0], line_no)?,
+                base,
+                offset: offset as i32,
+            }))
+        };
+        let branch = |cond: BranchCond, ops: &[&str]| -> Result<Parsed, TextError> {
+            let instr = Instr::Branch {
+                cond,
+                rs1: parse_reg(ops[0], line_no)?,
+                rs2: parse_reg(ops[1], line_no)?,
+                target: 0,
+            };
+            match parse_target(ops[2], line_no)? {
+                Target::Index(i) => Ok(Parsed::Ready(match instr {
+                    Instr::Branch { cond, rs1, rs2, .. } => Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target: i,
+                    },
+                    _ => unreachable!(),
+                })),
+                Target::Name(n) => Ok(Parsed::Branch(instr, n)),
+            }
+        };
+
+        let item = match mnemonic {
+            "add" => { want(3)?; alu3(AluOp::Add, &ops)? }
+            "sub" => { want(3)?; alu3(AluOp::Sub, &ops)? }
+            "sll" => { want(3)?; alu3(AluOp::Sll, &ops)? }
+            "slt" => { want(3)?; alu3(AluOp::Slt, &ops)? }
+            "sltu" => { want(3)?; alu3(AluOp::Sltu, &ops)? }
+            "xor" => { want(3)?; alu3(AluOp::Xor, &ops)? }
+            "srl" => { want(3)?; alu3(AluOp::Srl, &ops)? }
+            "sra" => { want(3)?; alu3(AluOp::Sra, &ops)? }
+            "or" => { want(3)?; alu3(AluOp::Or, &ops)? }
+            "and" => { want(3)?; alu3(AluOp::And, &ops)? }
+            "mul" => { want(3)?; alu3(AluOp::Mul, &ops)? }
+            "mulh" => { want(3)?; alu3(AluOp::Mulh, &ops)? }
+            "mulhu" => { want(3)?; alu3(AluOp::Mulhu, &ops)? }
+            "div" => { want(3)?; alu3(AluOp::Div, &ops)? }
+            "divu" => { want(3)?; alu3(AluOp::Divu, &ops)? }
+            "rem" => { want(3)?; alu3(AluOp::Rem, &ops)? }
+            "remu" => { want(3)?; alu3(AluOp::Remu, &ops)? }
+            "addi" => { want(3)?; alui(AluOp::Add, &ops)? }
+            "slti" => { want(3)?; alui(AluOp::Slt, &ops)? }
+            "sltui" | "sltiu" => { want(3)?; alui(AluOp::Sltu, &ops)? }
+            "xori" => { want(3)?; alui(AluOp::Xor, &ops)? }
+            "ori" => { want(3)?; alui(AluOp::Or, &ops)? }
+            "andi" => { want(3)?; alui(AluOp::And, &ops)? }
+            "slli" => { want(3)?; alui(AluOp::Sll, &ops)? }
+            "srli" => { want(3)?; alui(AluOp::Srl, &ops)? }
+            "srai" => { want(3)?; alui(AluOp::Sra, &ops)? }
+            "lui" => {
+                want(2)?;
+                Parsed::Ready(Instr::Lui {
+                    rd: parse_reg(ops[0], line_no)?,
+                    imm: parse_imm(ops[1], line_no)? as u32,
+                })
+            }
+            "li" => {
+                // Pseudo: expand immediately (may become two instructions).
+                want(2)?;
+                let rd = parse_reg(ops[0], line_no)?;
+                let v = parse_imm(ops[1], line_no)? as i32;
+                if (-2048..=2047).contains(&v) {
+                    Parsed::Ready(Instr::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::ZERO,
+                        imm: v,
+                    })
+                } else {
+                    let hi = ((v as u32).wrapping_add(0x800)) >> 12;
+                    let lo = v.wrapping_sub((hi << 12) as i32);
+                    parsed.push((line_no, Parsed::Ready(Instr::Lui { rd, imm: hi })));
+                    if lo != 0 {
+                        Parsed::Ready(Instr::AluImm {
+                            op: AluOp::Add,
+                            rd,
+                            rs1: rd,
+                            imm: lo,
+                        })
+                    } else {
+                        continue;
+                    }
+                }
+            }
+            "mv" => {
+                want(2)?;
+                Parsed::Ready(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs1: parse_reg(ops[1], line_no)?,
+                    imm: 0,
+                })
+            }
+            "nop" => {
+                want(0)?;
+                Parsed::Ready(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 0,
+                })
+            }
+            "lb" => { want(2)?; load(1, true, &ops)? }
+            "lbu" => { want(2)?; load(1, false, &ops)? }
+            "lh" => { want(2)?; load(2, true, &ops)? }
+            "lhu" => { want(2)?; load(2, false, &ops)? }
+            "lw" => { want(2)?; load(4, true, &ops)? }
+            "sb" => { want(2)?; store(1, &ops)? }
+            "sh" => { want(2)?; store(2, &ops)? }
+            "sw" => { want(2)?; store(4, &ops)? }
+            "beq" => { want(3)?; branch(BranchCond::Eq, &ops)? }
+            "bne" => { want(3)?; branch(BranchCond::Ne, &ops)? }
+            "blt" => { want(3)?; branch(BranchCond::Lt, &ops)? }
+            "bge" => { want(3)?; branch(BranchCond::Ge, &ops)? }
+            "bltu" => { want(3)?; branch(BranchCond::Ltu, &ops)? }
+            "bgeu" => { want(3)?; branch(BranchCond::Geu, &ops)? }
+            "jal" => {
+                want(2)?;
+                let rd = parse_reg(ops[0], line_no)?;
+                match parse_target(ops[1], line_no)? {
+                    Target::Index(i) => Parsed::Ready(Instr::Jal { rd, target: i }),
+                    Target::Name(n) => Parsed::Branch(Instr::Jal { rd, target: 0 }, n),
+                }
+            }
+            "j" => {
+                want(1)?;
+                match parse_target(ops[0], line_no)? {
+                    Target::Index(i) => Parsed::Ready(Instr::Jal {
+                        rd: Reg::ZERO,
+                        target: i,
+                    }),
+                    Target::Name(n) => Parsed::Branch(
+                        Instr::Jal {
+                            rd: Reg::ZERO,
+                            target: 0,
+                        },
+                        n,
+                    ),
+                }
+            }
+            "jalr" => {
+                want(2)?;
+                let (base, offset) = parse_mem_operand(ops[1], line_no)?;
+                Parsed::Ready(Instr::Jalr {
+                    rd: parse_reg(ops[0], line_no)?,
+                    base,
+                    offset: offset as i32,
+                })
+            }
+            "halt" => { want(0)?; Parsed::Ready(Instr::Halt) }
+            "stream.load" => {
+                want(3)?;
+                Parsed::Ready(Instr::StreamLoad {
+                    rd: parse_reg(ops[0], line_no)?,
+                    sid: parse_sid(ops[1], line_no)?,
+                    width: parse_imm(ops[2], line_no)? as u8,
+                })
+            }
+            "stream.store" => {
+                want(3)?;
+                Parsed::Ready(Instr::StreamStore {
+                    sid: parse_sid(ops[0], line_no)?,
+                    width: parse_imm(ops[1], line_no)? as u8,
+                    rs: parse_reg(ops[2], line_no)?,
+                })
+            }
+            "stream.avail" => {
+                want(2)?;
+                Parsed::Ready(Instr::StreamAvail {
+                    rd: parse_reg(ops[0], line_no)?,
+                    sid: parse_sid(ops[1], line_no)?,
+                })
+            }
+            "stream.eos" => {
+                want(2)?;
+                Parsed::Ready(Instr::StreamEos {
+                    rd: parse_reg(ops[0], line_no)?,
+                    sid: parse_sid(ops[1], line_no)?,
+                })
+            }
+            "buf.swap" => {
+                want(1)?;
+                Parsed::Ready(Instr::BufSwap {
+                    bank: parse_imm(ops[0], line_no)? as u8,
+                })
+            }
+            "csrr" => {
+                want(2)?;
+                Parsed::Ready(Instr::CsrR {
+                    rd: parse_reg(ops[0], line_no)?,
+                    csr: parse_imm(ops[1], line_no)? as u16,
+                })
+            }
+            other => return err(line_no, format!("unknown mnemonic `{other}`")),
+        };
+        parsed.push((line_no, item));
+    }
+
+    // Resolve named labels.
+    let mut instrs = Vec::with_capacity(parsed.len());
+    for (line_no, item) in parsed {
+        let instr = match item {
+            Parsed::Ready(i) => i,
+            Parsed::Branch(mut i, label) => {
+                let Some(&target) = labels.get(&label) else {
+                    return err(line_no, format!("undefined label `{label}`"));
+                };
+                match &mut i {
+                    Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                    _ => unreachable!("only branches carry labels"),
+                }
+                i
+            }
+        };
+        instrs.push(instr);
+    }
+    Ok(Program::from_instrs(name, instrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Reg};
+
+    #[test]
+    fn disassembly_reparses_to_the_same_program() {
+        // Build a program touching every instruction form, print it,
+        // re-parse it, compare.
+        let mut asm = Assembler::with_name("roundtrip");
+        let top = asm.label();
+        asm.bind(top);
+        asm.li(Reg::A0, 0x1234_5678);
+        asm.addi(Reg::A1, Reg::A0, -5);
+        asm.mul(Reg::A2, Reg::A1, Reg::A0);
+        asm.lw(Reg::T0, Reg::S0, 12);
+        asm.sb(Reg::T0, Reg::S5, -3);
+        asm.stream_load(Reg::T1, 2, 4);
+        asm.stream_store(0, 1, Reg::T1);
+        asm.stream_avail(Reg::T2, 7);
+        asm.stream_eos(Reg::T3, 1);
+        asm.buf_swap(1);
+        asm.csrr(Reg::T4, 0xC00);
+        asm.beq(Reg::A0, Reg::A1, top);
+        asm.jalr(Reg::RA, Reg::T0, 2);
+        asm.halt();
+        let program = asm.finish().unwrap();
+
+        let text = program.to_string();
+        let reparsed = parse_program("roundtrip", &text).unwrap();
+        assert_eq!(reparsed.len(), program.len());
+        for (a, b) in program.iter().zip(reparsed.iter()) {
+            assert_eq!(a, b, "text:\n{text}");
+        }
+    }
+
+    #[test]
+    fn named_labels_resolve_forward_and_backward() {
+        let p = parse_program(
+            "labels",
+            r"
+            ; counts down from 3
+                li a0, 3
+            loop:
+                addi a0, a0, -1
+                bne a0, zero, @loop
+                j @done
+                nop
+            done:
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p.fetch(2),
+            Some(Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                target: 1,
+            })
+        );
+        assert_eq!(
+            p.fetch(3),
+            Some(Instr::Jal {
+                rd: Reg::ZERO,
+                target: 5
+            })
+        );
+    }
+
+    #[test]
+    fn parsed_program_executes() {
+        use crate::Program;
+        // Cross-check with a hand-computed value by decoding the parse.
+        let p: Program = parse_program(
+            "sum10",
+            r"
+                li a0, 10
+                li a1, 0
+            top:
+                add a1, a1, a0
+                addi a0, a0, -1
+                bne a0, zero, @top
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("bad", "add a0, a1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("wants 3 operands"));
+
+        let e = parse_program("bad", "\n\nfrobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+
+        let e = parse_program("bad", "j @nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = parse_program("bad", "lw a0, 12\n").unwrap_err();
+        assert!(e.message.contains("off(base)"));
+
+        let e = parse_program("bad", "loop:\nloop:\n").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn x_register_names_work() {
+        let p = parse_program("x", "add x10, x11, x31\nhalt\n").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::T6,
+            })
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! GF(2^8) arithmetic for erasure coding (Table II: "Galois Field (GF)
+//! table" function state).
+//!
+//! RAID6 computes a second syndrome `Q = Σ g^i · d_i` over GF(256) with the
+//! standard polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), `g = 2`. The
+//! kernels keep per-stream multiply-by-constant tables in the scratchpad;
+//! this module generates those tables and provides the golden arithmetic.
+
+/// The RAID6 field polynomial (reduced, low 8 bits of 0x11D).
+pub const POLY: u8 = 0x1D;
+
+/// Multiplies two field elements.
+pub fn mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= POLY;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// `g^n` for the RAID6 generator `g = 2`.
+pub fn gen_pow(n: u32) -> u8 {
+    let mut v = 1u8;
+    for _ in 0..n {
+        v = mul(v, 2);
+    }
+    v
+}
+
+/// The 256-entry multiply-by-`c` table the kernels preload into the
+/// scratchpad.
+pub fn mul_table(c: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, slot) in t.iter_mut().enumerate() {
+        *slot = mul(c, i as u8);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        // 1 is the multiplicative identity; 0 annihilates.
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(1, a), a);
+        }
+    }
+
+    #[test]
+    fn multiplication_commutes_and_distributes() {
+        for &a in &[3u8, 7, 0x53, 0xCA, 0xFF] {
+            for &b in &[2u8, 0x11, 0x80, 0xFE] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &[5u8, 0x9D] {
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_vector() {
+        // 0x53 * 0xCA = 0x01 in the AES field... but RAID6 uses 0x11D, so
+        // check against an independently-computed value for that field:
+        // 2*0x80 = 0x1D (overflow reduces by the polynomial).
+        assert_eq!(mul(2, 0x80), 0x1D);
+        assert_eq!(gen_pow(0), 1);
+        assert_eq!(gen_pow(1), 2);
+        assert_eq!(gen_pow(8), 0x1D);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g=2 generates the multiplicative group: order 255.
+        let mut v = 1u8;
+        for i in 1..=255u32 {
+            v = mul(v, 2);
+            if v == 1 {
+                assert_eq!(i, 255, "generator order must be 255");
+            }
+        }
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn tables_match_mul() {
+        for &c in &[0u8, 1, 2, 4, 0x1D, 0xFF] {
+            let t = mul_table(c);
+            for i in 0..=255u8 {
+                assert_eq!(t[i as usize], mul(c, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Access-style abstraction: one kernel body, three memory architectures.
+//!
+//! [`KernelIo`] emits the input/output scaffolding for a kernel: stream
+//! instructions for AssasinSb, pointer walks over ping-pong staging banks
+//! for AssasinSp, and pointer walks over DRAM-staged windows for
+//! Baseline/Prefetch. The kernel body between [`KernelIo::begin`] and
+//! [`KernelIo::end`] is identical across styles, so architecture
+//! comparisons isolate the memory system — the paper's experimental
+//! control.
+
+use assasin_isa::{Assembler, Label, Reg};
+
+/// The AssasinSp bank-length CSR (must match
+/// `assasin_core::Core::CSR_IN_BANK_LEN`).
+const CSR_IN_BANK_LEN: u16 = 0xC10;
+
+/// Upper 20 bits of the core's DRAM window base (0x1000_0000).
+const DRAM_BASE_HI: u32 = 0x10000;
+/// Upper 20 bits of the staging input window base (0x2000_0000).
+const STAGING_IN_HI: u32 = 0x20000;
+/// Upper 20 bits of the staging output window base (0x2800_0000).
+const STAGING_OUT_HI: u32 = 0x28000;
+
+/// How a kernel reaches storage data (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessStyle {
+    /// Stream ISA extension (AssasinSb, AssasinSb$).
+    Stream,
+    /// Ping-pong staging scratchpads (AssasinSp).
+    PingPong,
+    /// DRAM-staged data through the cache hierarchy (Baseline, Prefetch).
+    Mem,
+}
+
+impl AccessStyle {
+    /// All three styles.
+    pub const ALL: [AccessStyle; 3] = [AccessStyle::Stream, AccessStyle::PingPong, AccessStyle::Mem];
+}
+
+/// The launch-register convention for [`AccessStyle::Mem`] kernels, which
+/// the firmware fills before starting the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchInfo {
+    /// Bytes per input stream (written to `a0`).
+    pub in_len: u32,
+    /// Byte stride between consecutive stream bases in the DRAM window
+    /// (written to `a1`; ignored for single-stream kernels).
+    pub in_stride: u32,
+    /// Output area offset within the DRAM window (written to `a2`).
+    pub out_offset: u32,
+}
+
+impl LaunchInfo {
+    /// Registers carrying the launch values, in order: `(a0, a1, a2)`.
+    pub fn regs() -> (Reg, Reg, Reg) {
+        (Reg::A0, Reg::A1, Reg::A2)
+    }
+}
+
+/// Loop labels handed back by [`KernelIo::begin`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoopCtx {
+    top: Label,
+    exit: Label,
+    outer: Option<Label>,
+    bank_done: Option<Label>,
+}
+
+/// Emits per-style input/output scaffolding.
+///
+/// Register reservations (kernel bodies must not clobber these):
+/// `s0..s3` input cursors, `s4` stream-0 end bound, `s5` output cursor,
+/// `s6` bank length, `s7` io scratch, and `s8`/`s9` for multi-stream
+/// ping-pong chunking. Bodies are free to use `t0-t6`, `a0-a7`, `s10`,
+/// `s11`.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelIo {
+    style: AccessStyle,
+    n_in: u32,
+    tuple_bytes: u32,
+}
+
+impl KernelIo {
+    /// Creates an emitter for a kernel consuming `tuple_bytes` per
+    /// iteration from each of `n_in` input streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_in` is 0 or exceeds 4, or `tuple_bytes` is 0.
+    pub fn new(style: AccessStyle, n_in: u32, tuple_bytes: u32) -> Self {
+        assert!((1..=4).contains(&n_in), "1..=4 input streams supported");
+        assert!(tuple_bytes > 0, "tuple size must be positive");
+        KernelIo {
+            style,
+            n_in,
+            tuple_bytes,
+        }
+    }
+
+    /// The style this emitter targets.
+    pub fn style(&self) -> AccessStyle {
+        self.style
+    }
+
+    fn cursor(i: u32) -> Reg {
+        [Reg::S0, Reg::S1, Reg::S2, Reg::S3][i as usize]
+    }
+
+    /// Emits the prologue and the loop head; the kernel body follows.
+    pub fn begin(&self, asm: &mut Assembler) -> LoopCtx {
+        match self.style {
+            AccessStyle::Stream => {
+                let top = asm.label();
+                let exit = asm.label();
+                asm.bind(top);
+                LoopCtx {
+                    top,
+                    exit,
+                    outer: None,
+                    bank_done: None,
+                }
+            }
+            AccessStyle::Mem => {
+                let top = asm.label();
+                let exit = asm.label();
+                // Bases: s_i = DRAM_BASE + i*stride (stride in a1).
+                asm.lui(Reg::S7, DRAM_BASE_HI);
+                asm.mv(Reg::S0, Reg::S7);
+                for i in 1..self.n_in {
+                    asm.add(Self::cursor(i), Self::cursor(i - 1), Reg::A1);
+                }
+                // End bound for stream 0 (a0 = per-stream length).
+                asm.add(Reg::S4, Reg::S0, Reg::A0);
+                // Output cursor = DRAM_BASE + a2.
+                asm.add(Reg::S5, Reg::S7, Reg::A2);
+                asm.bind(top);
+                asm.bgeu(Reg::S0, Reg::S4, exit);
+                LoopCtx {
+                    top,
+                    exit,
+                    outer: None,
+                    bank_done: None,
+                }
+            }
+            AccessStyle::PingPong => {
+                let outer = asm.label();
+                let top = asm.label();
+                let exit = asm.label();
+                let bank_done = asm.label();
+                asm.bind(outer);
+                asm.buf_swap(0);
+                asm.csrr(Reg::S6, CSR_IN_BANK_LEN);
+                asm.beqz(Reg::S6, exit);
+                asm.lui(Reg::S7, STAGING_IN_HI);
+                asm.mv(Reg::S0, Reg::S7);
+                if self.n_in > 1 {
+                    // Banks carry n_in equal chunks: chunk = len / n_in.
+                    asm.li(Reg::S9, self.n_in as i64);
+                    asm.divu(Reg::S8, Reg::S6, Reg::S9);
+                    for i in 1..self.n_in {
+                        asm.add(Self::cursor(i), Self::cursor(i - 1), Reg::S8);
+                    }
+                    asm.add(Reg::S4, Reg::S0, Reg::S8);
+                } else {
+                    asm.add(Reg::S4, Reg::S0, Reg::S6);
+                }
+                asm.lui(Reg::S7, STAGING_OUT_HI);
+                asm.mv(Reg::S5, Reg::S7);
+                asm.bind(top);
+                asm.bgeu(Reg::S0, Reg::S4, bank_done);
+                LoopCtx {
+                    top,
+                    exit,
+                    outer: Some(outer),
+                    bank_done: Some(bank_done),
+                }
+            }
+        }
+    }
+
+    /// Loads `width` bytes at `off` within the current tuple of input
+    /// stream `sid` into `rd`.
+    ///
+    /// For [`AccessStyle::Stream`] the calls within one iteration must
+    /// cover offsets `0..tuple_bytes` of each stream contiguously and in
+    /// order (streams are consumed head-first).
+    pub fn load(&self, asm: &mut Assembler, rd: Reg, sid: u32, off: i64, width: u8, signed: bool) {
+        match self.style {
+            AccessStyle::Stream => asm.stream_load(rd, sid as u8, width),
+            _ => {
+                let base = Self::cursor(sid);
+                match (width, signed) {
+                    (1, false) => asm.lbu(rd, base, off),
+                    (1, true) => asm.lb(rd, base, off),
+                    (2, false) => asm.lhu(rd, base, off),
+                    (2, true) => asm.lh(rd, base, off),
+                    _ => asm.lw(rd, base, off),
+                }
+            }
+        }
+    }
+
+    /// Appends the low `width` bytes of `rs` to the kernel's output.
+    pub fn emit(&self, asm: &mut Assembler, rs: Reg, width: u8) {
+        match self.style {
+            AccessStyle::Stream => asm.stream_store(0, width, rs),
+            _ => {
+                match width {
+                    1 => asm.sb(rs, Reg::S5, 0),
+                    2 => asm.sh(rs, Reg::S5, 0),
+                    _ => asm.sw(rs, Reg::S5, 0),
+                }
+                asm.addi(Reg::S5, Reg::S5, width as i64);
+            }
+        }
+    }
+
+    /// Closes one iteration: advances cursors and loops.
+    pub fn end_iter(&self, asm: &mut Assembler, ctx: &LoopCtx) {
+        self.end_iter_advance_only(asm);
+        self.loop_back(asm, ctx);
+    }
+
+    /// Advances the input cursors by one tuple *without* looping — for
+    /// kernels that consume a variable number of units per iteration
+    /// (e.g. decompression) and manage their own control flow.
+    pub fn end_iter_advance_only(&self, asm: &mut Assembler) {
+        if self.style != AccessStyle::Stream {
+            for i in 0..self.n_in {
+                asm.addi(Self::cursor(i), Self::cursor(i), self.tuple_bytes as i64);
+            }
+        }
+    }
+
+    /// Jumps back to the loop head (whose bounds check, where the style
+    /// has one, decides termination).
+    pub fn loop_back(&self, asm: &mut Assembler, ctx: &LoopCtx) {
+        asm.j(ctx.top);
+    }
+
+    /// Emits the epilogue (bank drains, outer loops, halt).
+    pub fn end(&self, asm: &mut Assembler, ctx: LoopCtx) {
+        match self.style {
+            AccessStyle::Stream => {
+                // Streams exit by hanging on an exhausted StreamLoad; the
+                // exit label exists for kernels with explicit early-outs.
+                asm.bind(ctx.exit);
+                asm.halt();
+            }
+            AccessStyle::Mem => {
+                asm.bind(ctx.exit);
+                asm.halt();
+            }
+            AccessStyle::PingPong => {
+                asm.bind(ctx.bank_done.expect("pingpong ctx"));
+                asm.buf_swap(1);
+                asm.j(ctx.outer.expect("pingpong ctx"));
+                asm.bind(ctx.exit);
+                asm.halt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_styles_assemble_a_copy_kernel() {
+        for style in AccessStyle::ALL {
+            let io = KernelIo::new(style, 1, 4);
+            let mut asm = Assembler::with_name("copy");
+            let ctx = io.begin(&mut asm);
+            io.load(&mut asm, Reg::T0, 0, 0, 4, false);
+            io.emit(&mut asm, Reg::T0, 4);
+            io.end_iter(&mut asm, &ctx);
+            io.end(&mut asm, ctx);
+            let p = asm.finish().expect("assembles");
+            assert!(p.len() >= 4, "style {style:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input streams")]
+    fn too_many_streams_rejected() {
+        let _ = KernelIo::new(AccessStyle::Stream, 5, 4);
+    }
+}

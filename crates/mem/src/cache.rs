@@ -1,0 +1,273 @@
+//! Set-associative write-back cache with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache geometry (Table IV uses 32 KiB/8-way L1D and 256 KiB/16-way L2,
+/// both with 64 B lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// The paper's L1D: 32 KiB, 8-way, 64 B lines.
+    pub const L1D: CacheGeometry = CacheGeometry {
+        size_bytes: 32 * 1024,
+        ways: 8,
+        line_bytes: 64,
+    };
+    /// The paper's L2: 256 KiB, 16-way, 64 B lines.
+    pub const L2: CacheGeometry = CacheGeometry {
+        size_bytes: 256 * 1024,
+        ways: 16,
+        line_bytes: 64,
+    };
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Result of one cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line-aligned address of a dirty line evicted to make room
+    /// (write-back traffic for the next level).
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative write-back, write-allocate cache.
+///
+/// Purely functional state (tags + LRU); timing lives in
+/// [`MemHierarchy`](crate::MemHierarchy).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is degenerate (zero sets or non-power-of-two line).
+    pub fn new(geom: CacheGeometry) -> Self {
+        assert!(geom.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let sets = geom.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            geom,
+            sets: vec![Vec::new(); sets as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// This cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.geom.line_bytes as u64;
+        let set = (line % self.geom.sets() as u64) as usize;
+        let tag = line / self.geom.sets() as u64;
+        (set, tag)
+    }
+
+    /// Line-aligned base address for `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.geom.line_bytes as u64 - 1)
+    }
+
+    /// Looks up `addr`; on miss, allocates the line (write-allocate),
+    /// evicting LRU if the set is full. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
+        self.tick += 1;
+        let (set_idx, tag) = self.split(addr);
+        let ways = self.geom.ways as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.stamp = self.tick;
+            line.dirty |= write;
+            self.hits += 1;
+            return LookupResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        let mut writeback = None;
+        if set.len() >= ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                let line_no = victim.tag * self.geom.sets() as u64 + set_idx as u64;
+                writeback = Some(line_no * self.geom.line_bytes as u64);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: write,
+            stamp: self.tick,
+        });
+        LookupResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Checks presence without disturbing LRU or counters (for prefetch
+    /// filtering).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.split(addr);
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Installs a line without counting a demand miss (prefetch fill).
+    /// Returns the dirty line evicted, if any.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        if self.probe(addr) {
+            return None;
+        }
+        self.tick += 1;
+        let (set_idx, tag) = self.split(addr);
+        let ways = self.geom.ways as usize;
+        let sets_count = self.geom.sets() as u64;
+        let line_bytes = self.geom.line_bytes as u64;
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        let mut writeback = None;
+        if set.len() >= ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let victim = set.swap_remove(victim_idx);
+            if victim.dirty {
+                let line_no = victim.tag * sets_count + set_idx as u64;
+                writeback = Some(line_no * line_bytes);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: false,
+            stamp: tick,
+        });
+        writeback
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss ratio so far (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64B lines = 256B cache.
+        Cache::new(CacheGeometry {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn geometry_sets() {
+        assert_eq!(CacheGeometry::L1D.sets(), 64);
+        assert_eq!(CacheGeometry::L2.sets(), 256);
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x13F, false).hit, "same line");
+        assert!(!c.access(0x140, false).hit, "next line");
+        assert_eq!(c.counters(), (2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line index. Lines 0,2,4 map to set 0.
+        c.access(0, false);
+        c.access(2 * 64, false);
+        c.access(0, false); // refresh line 0
+        c.access(4 * 64, false); // evicts line 2 (LRU)
+        assert!(c.probe(0));
+        assert!(!c.probe(2 * 64));
+        assert!(c.probe(4 * 64));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty line 0 (set 0)
+        c.access(2 * 64, false);
+        let r = c.access(4 * 64, false); // evicts dirty line 0
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand() {
+        let mut c = tiny();
+        c.fill(0x100);
+        assert_eq!(c.counters(), (0, 0));
+        assert!(c.access(0x100, false).hit);
+    }
+
+    #[test]
+    fn streaming_workload_always_misses() {
+        // The Section III observation: caches don't help streaming data.
+        let mut c = Cache::new(CacheGeometry::L1D);
+        let line = CacheGeometry::L1D.line_bytes as u64;
+        for i in 0..10_000u64 {
+            c.access(i * line, false);
+        }
+        assert_eq!(c.counters().1, 10_000);
+    }
+}

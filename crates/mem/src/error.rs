@@ -1,0 +1,67 @@
+//! Memory model errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the memory models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access outside a scratchpad or staged region.
+    OutOfBounds {
+        /// Offending byte address.
+        addr: u64,
+        /// Size of the region accessed.
+        size: u64,
+    },
+    /// Stream id outside the configured number of streams.
+    BadStream(u32),
+    /// A page was pushed into a stream with no free slot (firmware must
+    /// check `free_slots` first; Figure 10's "hanging avoids overflow").
+    StreamFull(u32),
+    /// A page push or read used an unsupported width/size.
+    BadWidth(u32),
+    /// Data pushed into a stream exceeded the configured page size.
+    BadPageSize {
+        /// Bytes supplied.
+        got: usize,
+        /// Page capacity.
+        want: usize,
+    },
+    /// Read from a stream that is exhausted (closed and drained).
+    StreamExhausted(u32),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "access at {addr:#x} outside region of {size} bytes")
+            }
+            MemError::BadStream(s) => write!(f, "stream id {s} not configured"),
+            MemError::StreamFull(s) => write!(f, "stream {s} has no free page slot"),
+            MemError::BadWidth(w) => write!(f, "unsupported access width {w}"),
+            MemError::BadPageSize { got, want } => {
+                write!(f, "pushed {got} bytes into {want}-byte page slot")
+            }
+            MemError::StreamExhausted(s) => write!(f, "stream {s} is exhausted"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MemError>();
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!MemError::BadStream(3).to_string().is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-component and per-engine power/area budgets (Table V).
+
+use assasin_core::EngineKind;
+use assasin_mem::sram;
+
+/// One hardware block's budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Block name as it appears in Table V.
+    pub name: &'static str,
+    /// Power in milliwatts at 1 GHz, 14 nm.
+    pub power_mw: f64,
+    /// Silicon area in mm² at 14 nm.
+    pub area_mm2: f64,
+}
+
+/// Activity assumptions (accesses per nanosecond at 1 GHz) used for the
+/// dynamic-power terms. Derived from the measured instruction mixes:
+/// instruction fetch every cycle, data access roughly every third
+/// instruction, L2 filtered by the L1, scratchpad hot in ASSASIN kernels,
+/// streambuffer head touched about every fourth cycle.
+mod activity {
+    pub const IFETCH: f64 = 1.0;
+    pub const L1D: f64 = 0.33;
+    pub const L2: f64 = 0.05;
+    pub const SCRATCHPAD: f64 = 0.5;
+    pub const STREAM_HEAD: f64 = 0.25;
+}
+
+/// The in-order scalar core's logic (ibex-class, 14 nm).
+pub fn core_logic() -> Component {
+    Component {
+        name: "RISC-V core logic",
+        power_mw: 4.0,
+        area_mm2: 0.015,
+    }
+}
+
+/// 32 KiB instruction cache.
+pub fn l1i() -> Component {
+    Component {
+        name: "32KB L1I",
+        power_mw: sram::sram_power_mw(32.0, 4, activity::IFETCH),
+        area_mm2: sram::sram_area_mm2(32.0, true),
+    }
+}
+
+/// 32 KiB 8-way data cache.
+pub fn l1d() -> Component {
+    Component {
+        name: "32KB 8W L1D",
+        power_mw: sram::sram_power_mw(32.0, 8, activity::L1D),
+        area_mm2: sram::sram_area_mm2(32.0, true),
+    }
+}
+
+/// 256 KiB 16-way L2.
+pub fn l2() -> Component {
+    Component {
+        name: "256KB 16W L2",
+        power_mw: sram::sram_power_mw(256.0, 8, activity::L2),
+        area_mm2: sram::sram_area_mm2(256.0, true),
+    }
+}
+
+/// 64 KiB function-state scratchpad.
+pub fn scratchpad64k() -> Component {
+    Component {
+        name: "64KB scratchpad",
+        power_mw: sram::sram_power_mw(64.0, 8, activity::SCRATCHPAD),
+        area_mm2: sram::sram_area_mm2(64.0, false),
+    }
+}
+
+/// One 64 KiB streambuffer (input or output): page ring plus prefetched
+/// head FIFO. The ring is accessed in coarse 128 B chunks, so its dynamic
+/// activity is low; the hot head FIFO is tiny.
+pub fn streambuffer64k() -> Component {
+    let ring = sram::sram_leakage_mw(64.0)
+        + sram::sram_dynamic_mw(64.0, 128, activity::STREAM_HEAD / 32.0);
+    let fifo = sram::sram_power_mw(0.25, 8, activity::STREAM_HEAD);
+    Component {
+        name: "64KB streambuffer",
+        power_mw: ring + fifo,
+        area_mm2: sram::sram_area_mm2(64.0, false) + sram::sram_area_mm2(0.25, false),
+    }
+}
+
+/// UDP lane logic (multiway dispatch pipeline).
+pub fn udp_lane_logic() -> Component {
+    Component {
+        name: "UDP lane logic",
+        power_mw: 5.0,
+        area_mm2: 0.030,
+    }
+}
+
+/// UDP's 256 KiB lane scratchpad.
+pub fn udp_scratchpad() -> Component {
+    Component {
+        name: "256KB UDP scratchpad",
+        power_mw: sram::sram_power_mw(256.0, 8, activity::SCRATCHPAD),
+        area_mm2: sram::sram_area_mm2(256.0, false),
+    }
+}
+
+/// All components of one compute engine of the given kind (Table IV
+/// memory architectures).
+pub fn engine_components(kind: EngineKind) -> Vec<Component> {
+    match kind {
+        EngineKind::Baseline | EngineKind::Prefetch => {
+            vec![core_logic(), l1i(), l1d(), l2()]
+        }
+        EngineKind::AssasinSp => vec![
+            core_logic(),
+            l1i(),
+            scratchpad64k(),
+            // Two staging scratchpads (ping + pong per direction share
+            // the same macros as the streambuffer capacity-wise).
+            Component {
+                name: "64KB in staging",
+                ..scratchpad64k()
+            },
+            Component {
+                name: "64KB out staging",
+                ..scratchpad64k()
+            },
+        ],
+        EngineKind::AssasinSb => vec![
+            core_logic(),
+            l1i(),
+            scratchpad64k(),
+            Component {
+                name: "64KB in streambuffer",
+                ..streambuffer64k()
+            },
+            Component {
+                name: "64KB out streambuffer",
+                ..streambuffer64k()
+            },
+        ],
+        EngineKind::AssasinSbCache => {
+            let mut v = engine_components(EngineKind::AssasinSb);
+            v.push(l1d());
+            v
+        }
+        EngineKind::Udp => vec![udp_lane_logic(), udp_scratchpad()],
+    }
+}
+
+/// Total (power mW, area mm²) of one engine.
+pub fn engine_budget(kind: EngineKind) -> (f64, f64) {
+    engine_components(kind)
+        .iter()
+        .fold((0.0, 0.0), |(p, a), c| (p + c.power_mw, a + c.area_mm2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_is_same_order_as_core_logic() {
+        // Section VI-G: "a L1 cache or similar-size SRAM are at the same
+        // order of magnitude with the compute logic of a core".
+        let core = core_logic();
+        let l1 = l1d();
+        assert!(l1.power_mw > core.power_mw * 0.3 && l1.power_mw < core.power_mw * 10.0);
+        assert!(l1.area_mm2 > core.area_mm2 * 0.5 && l1.area_mm2 < core.area_mm2 * 10.0);
+    }
+
+    #[test]
+    fn assasin_sb_is_smaller_and_cooler_than_baseline() {
+        let (pb, ab) = engine_budget(EngineKind::Baseline);
+        let (ps, as_) = engine_budget(EngineKind::AssasinSb);
+        assert!(ps < pb, "power {ps} vs {pb}");
+        assert!(as_ < ab, "area {as_} vs {ab}");
+        // Dropping the L2 (the largest SRAM) dominates the saving.
+        assert!(ab / as_ > 1.5, "area ratio {}", ab / as_);
+    }
+
+    #[test]
+    fn sb_cache_adds_an_l1d() {
+        let (p, a) = engine_budget(EngineKind::AssasinSbCache);
+        let (pb, ab) = engine_budget(EngineKind::AssasinSb);
+        assert!(p > pb && a > ab);
+    }
+
+    #[test]
+    fn eight_engines_fit_an_ssd_power_budget() {
+        // Sanity: 8 engines of any kind stay well under the ~5 W device
+        // budget the paper cites for SSDs.
+        for kind in EngineKind::ALL {
+            let (p, _) = engine_budget(kind);
+            assert!(8.0 * p < 1000.0, "{kind:?}: {p} mW/engine");
+        }
+    }
+}

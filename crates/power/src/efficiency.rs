@@ -1,0 +1,74 @@
+//! Relative power/area efficiency (Figure 22).
+
+use crate::components::engine_budget;
+use assasin_core::EngineKind;
+
+/// One engine's Figure 22 entry: speedup and efficiency relative to
+/// Baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Which engine.
+    pub kind: EngineKind,
+    /// Measured speedup over Baseline (from the performance experiments).
+    pub speedup: f64,
+    /// Speedup per unit power, relative to Baseline.
+    pub power_efficiency: f64,
+    /// Speedup per unit area, relative to Baseline.
+    pub area_efficiency: f64,
+}
+
+/// Computes Figure 22 for a set of measured speedups. `speedups` holds
+/// `(engine, speedup-over-baseline)` pairs, which the benchmark harness
+/// derives from the Figure 21 throughput runs.
+pub fn figure22(speedups: &[(EngineKind, f64)]) -> Vec<Efficiency> {
+    let (base_p, base_a) = engine_budget(EngineKind::Baseline);
+    speedups
+        .iter()
+        .map(|&(kind, speedup)| {
+            let (p, a) = engine_budget(kind);
+            Efficiency {
+                kind,
+                speedup,
+                power_efficiency: speedup * (base_p / p),
+                area_efficiency: speedup * (base_a / a),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_the_unit() {
+        let e = figure22(&[(EngineKind::Baseline, 1.0)]);
+        assert!((e[0].power_efficiency - 1.0).abs() < 1e-12);
+        assert!((e[0].area_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_bands_with_the_paper_speedup() {
+        // With the paper's ~1.9x adjusted AssasinSb speedup, the budgets
+        // must land near 2.0x power and 3.2x area efficiency.
+        let e = figure22(&[(EngineKind::AssasinSb, 1.9)]);
+        let sb = &e[0];
+        assert!(
+            (1.6..=2.6).contains(&sb.power_efficiency),
+            "power efficiency {}",
+            sb.power_efficiency
+        );
+        assert!(
+            (2.5..=4.2).contains(&sb.area_efficiency),
+            "area efficiency {}",
+            sb.area_efficiency
+        );
+    }
+
+    #[test]
+    fn efficiency_scales_with_speedup() {
+        let lo = figure22(&[(EngineKind::AssasinSb, 1.0)])[0].power_efficiency;
+        let hi = figure22(&[(EngineKind::AssasinSb, 2.0)])[0].power_efficiency;
+        assert!((hi / lo - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Power, area and clock-timing models (Sections VI-F and VI-G).
+//!
+//! The paper evaluates logic with Synopsys Design Compiler on the SAED
+//! 14 nm library and memories with Cacti. This crate substitutes both:
+//! logic blocks carry calibrated 14 nm constants; memories use the
+//! analytical SRAM model in [`assasin_mem::sram`]. Together they
+//! regenerate:
+//!
+//! * **Figure 20** — access-time curves for streambuffers vs scratchpads
+//!   ([`timing::fig20_series`]);
+//! * **Table V** — per-component power and area
+//!   ([`components::engine_budget`]);
+//! * **Figure 22** — power/area efficiency relative to Baseline
+//!   ([`efficiency::Efficiency`]).
+
+pub mod components;
+pub mod efficiency;
+pub mod timing;

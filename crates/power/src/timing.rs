@@ -1,0 +1,108 @@
+//! Memory-structure access-time curves (Figure 20) and the clock
+//! consequences (Section VI-F).
+
+use assasin_mem::sram;
+
+/// One point of the Figure 20 chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPoint {
+    /// Structure label (as in the figure legend).
+    pub label: String,
+    /// Port width in bytes.
+    pub width_bytes: u32,
+    /// Access time in nanoseconds.
+    pub access_ns: f64,
+    /// Cycles at a 1 GHz core clock.
+    pub cycles_at_1ghz: u32,
+}
+
+/// The streambuffer head-FIFO size used by the implementation.
+pub const SB_FIFO_BYTES: u32 = 256;
+
+/// Generates the Figure 20 series: the streambuffer at widths 1–64 B and
+/// scratchpads of 8–64 KiB at narrow (8 B) and SIMD (64 B) widths.
+pub fn fig20_series() -> Vec<TimingPoint> {
+    let mut points = Vec::new();
+    for width in [1u32, 8, 64] {
+        let ns = sram::fifo_access_ns(width, SB_FIFO_BYTES);
+        points.push(TimingPoint {
+            label: format!("SB head ({width}B)"),
+            width_bytes: width,
+            access_ns: ns,
+            cycles_at_1ghz: sram::access_cycles(ns, 1.0),
+        });
+    }
+    for kb in [8u32, 16, 32, 64] {
+        for width in [8u32, 64] {
+            let ns = sram::ram_access_ns(kb as f64, width, 1);
+            points.push(TimingPoint {
+                label: format!("SP {kb}KB ({width}B)"),
+                width_bytes: width,
+                access_ns: ns,
+                cycles_at_1ghz: sram::access_cycles(ns, 1.0),
+            });
+        }
+    }
+    points
+}
+
+/// The clock-period consequence of Section VI-F: with the streambuffer
+/// replacing the dcache in the MEM stage, the critical path moves to IF and
+/// the period drops 11% (1 ns -> 0.89 ns); scratchpad-based designs keep
+/// the 1 ns clock but pay 2-cycle scratchpad accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockPlan {
+    /// Clock period in picoseconds.
+    pub period_ps: u64,
+    /// Scratchpad access latency in cycles.
+    pub scratchpad_cycles: u32,
+}
+
+/// The adjusted clock plan for each memory architecture.
+pub fn clock_plan(streambuffer: bool) -> ClockPlan {
+    if streambuffer {
+        ClockPlan {
+            period_ps: 890,
+            scratchpad_cycles: 2,
+        }
+    } else {
+        ClockPlan {
+            period_ps: 1000,
+            scratchpad_cycles: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig20_shape_matches_the_paper() {
+        let pts = fig20_series();
+        let sb64 = pts
+            .iter()
+            .find(|p| p.label == "SB head (64B)")
+            .expect("series contains the 64B streambuffer point");
+        assert!(sb64.access_ns <= 0.55, "SB 64B at {} ns", sb64.access_ns);
+        assert_eq!(sb64.cycles_at_1ghz, 1);
+
+        let sp64_8 = pts
+            .iter()
+            .find(|p| p.label == "SP 64KB (8B)")
+            .expect("series contains the 64KB/8B scratchpad point");
+        assert_eq!(sp64_8.cycles_at_1ghz, 2, "64KB SP needs 2 cycles");
+
+        // Monotone in size and width.
+        let sp8 = pts.iter().find(|p| p.label == "SP 8KB (8B)").unwrap();
+        assert!(sp8.access_ns < sp64_8.access_ns);
+        let sp64_wide = pts.iter().find(|p| p.label == "SP 64KB (64B)").unwrap();
+        assert!(sp64_wide.access_ns > sp64_8.access_ns);
+    }
+
+    #[test]
+    fn clock_plans() {
+        assert_eq!(clock_plan(true).period_ps, 890);
+        assert_eq!(clock_plan(false).period_ps, 1000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cycle/time conversion for a core clock.
+
+use crate::{SimDur, SimTime};
+
+/// A core clock: converts between cycle counts and simulated time.
+///
+/// The clock period is stored in picoseconds so the 11% period reduction of
+/// Section VI-F (1 ns -> 0.89 ns) is representable exactly enough
+/// (890 ps).
+///
+/// ```
+/// use assasin_sim::Clock;
+/// let clk = Clock::from_freq_ghz(1.0);
+/// assert_eq!(clk.cycles_to_dur(1000).as_ps(), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    period_ps: u64,
+}
+
+impl Clock {
+    /// A clock with the given period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn from_period_ps(period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be positive");
+        Clock { period_ps }
+    }
+
+    /// A clock at the given frequency in GHz (rounded to a whole number of
+    /// picoseconds of period).
+    pub fn from_freq_ghz(ghz: f64) -> Self {
+        assert!(ghz > 0.0 && ghz.is_finite(), "frequency must be positive");
+        Clock::from_period_ps((1000.0 / ghz).round() as u64)
+    }
+
+    /// Clock period in picoseconds.
+    pub fn period_ps(&self) -> u64 {
+        self.period_ps
+    }
+
+    /// Frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        1e12 / self.period_ps as f64
+    }
+
+    /// Duration of `cycles` clock cycles.
+    pub fn cycles_to_dur(&self, cycles: u64) -> SimDur {
+        SimDur::from_ps(cycles * self.period_ps)
+    }
+
+    /// Instant of cycle `cycle` counted from `start`.
+    pub fn cycle_time(&self, start: SimTime, cycle: u64) -> SimTime {
+        start + self.cycles_to_dur(cycle)
+    }
+
+    /// Number of whole cycles that fit in `dur`, rounding up (a stall of any
+    /// fraction of a cycle costs the full cycle on an in-order core).
+    pub fn dur_to_cycles_ceil(&self, dur: SimDur) -> u64 {
+        dur.as_ps().div_ceil(self.period_ps)
+    }
+}
+
+impl Default for Clock {
+    /// A 1 GHz clock, the paper's core frequency (Table IV).
+    fn default() -> Self {
+        Clock::from_period_ps(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_roundtrip() {
+        let c = Clock::from_freq_ghz(1.0);
+        assert_eq!(c.period_ps(), 1000);
+        assert!((c.freq_hz() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn adjusted_clock_of_section_vi_f() {
+        // 11% shorter period than 1ns.
+        let c = Clock::from_period_ps(890);
+        assert!(c.freq_hz() > 1.12e9);
+    }
+
+    #[test]
+    fn ceil_rounds_partial_cycles_up() {
+        let c = Clock::default();
+        assert_eq!(c.dur_to_cycles_ceil(SimDur::from_ps(1)), 1);
+        assert_eq!(c.dur_to_cycles_ceil(SimDur::from_ps(1000)), 1);
+        assert_eq!(c.dur_to_cycles_ceil(SimDur::from_ps(1001)), 2);
+        assert_eq!(c.dur_to_cycles_ceil(SimDur::ZERO), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = Clock::from_period_ps(0);
+    }
+}

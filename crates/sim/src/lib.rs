@@ -1,0 +1,45 @@
+//! Simulation substrate for the ASSASIN computational-SSD reproduction.
+//!
+//! The paper evaluates ASSASIN with a hybrid of Gem5 (compute timing) and
+//! MQSim (flash timing), stitched together by retiming page accesses. This
+//! crate provides the common timing vocabulary that lets us co-simulate both
+//! sides directly instead:
+//!
+//! * [`SimTime`] / [`SimDur`] — picosecond-resolution instants and durations,
+//!   precise enough to express the sub-nanosecond clock periods of
+//!   Section VI-F while spanning hours of simulated time.
+//! * [`Timeline`] — a FIFO-served exclusive resource (a flash chip, a channel
+//!   bus) that hands out `(start, end)` reservations.
+//! * [`Bandwidth`] — a byte-rate resource (SSD DRAM bus, PCIe link) built on
+//!   a timeline.
+//! * [`Clock`] — cycle/time conversion for a core at a given frequency.
+//! * [`stats`] — counters, throughput and geometric-mean helpers used by the
+//!   experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
+//!
+//! // A flash chip busy for 20us per page read.
+//! let mut chip = Timeline::new("chip");
+//! let grant = chip.acquire(SimTime::ZERO, SimDur::from_us(20));
+//! assert_eq!(grant.end, SimTime::from_us(20));
+//!
+//! // An 8 GB/s DRAM bus moving one 4 KiB page.
+//! let mut dram = Bandwidth::new("dram", 8.0e9);
+//! let done = dram.transfer(grant.end, 4096);
+//! assert!(done > grant.end);
+//! ```
+
+mod bandwidth;
+mod clock;
+mod time;
+mod timeline;
+
+pub mod stats;
+
+pub use bandwidth::Bandwidth;
+pub use clock::Clock;
+pub use time::{SimDur, SimTime};
+pub use timeline::{Grant, Timeline};

@@ -1,0 +1,221 @@
+//! Reporting helpers shared by the experiment harness.
+
+use crate::{SimDur, SimTime};
+
+/// Geometric mean of a set of ratios (the paper reports GeoMean speedups).
+///
+/// Returns `None` on an empty input or any non-positive value.
+///
+/// ```
+/// use assasin_sim::stats::geomean;
+/// let g = geomean(&[2.0, 8.0]).unwrap();
+/// assert!((g - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Throughput in bytes/second for `bytes` processed in `elapsed`.
+pub fn throughput_bps(bytes: u64, elapsed: SimDur) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        bytes as f64 / secs
+    }
+}
+
+/// Converts bytes/second to GB/s (decimal, as the paper reports).
+pub fn bps_to_gbps(bps: f64) -> f64 {
+    bps / 1e9
+}
+
+/// A labelled tally of simulated cycles, used for the Figure 5 style
+/// cycle decomposition (busy vs. stalls by cause).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles retiring instructions.
+    pub busy: u64,
+    /// Extra cycles waiting on L1 hits beyond the pipelined single cycle.
+    pub stall_l1: u64,
+    /// Cycles waiting on accesses served by the L2.
+    pub stall_l2: u64,
+    /// Cycles waiting on accesses served by SSD DRAM.
+    pub stall_dram: u64,
+    /// Cycles waiting on scratchpad access (multi-cycle scratchpads).
+    pub stall_scratchpad: u64,
+    /// Cycles waiting for stream data to arrive from flash.
+    pub stall_stream: u64,
+    /// Cycles waiting for a ping-pong buffer swap.
+    pub stall_swap: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across all buckets.
+    pub fn total(&self) -> u64 {
+        self.busy
+            + self.stall_l1
+            + self.stall_l2
+            + self.stall_dram
+            + self.stall_scratchpad
+            + self.stall_stream
+            + self.stall_swap
+    }
+
+    /// Fraction of total cycles spent in memory-related stalls.
+    pub fn memory_stall_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.busy) as f64 / total as f64
+    }
+
+    /// Adds another breakdown into this one (aggregating cores).
+    pub fn merge(&mut self, other: &CycleBreakdown) {
+        self.busy += other.busy;
+        self.stall_l1 += other.stall_l1;
+        self.stall_l2 += other.stall_l2;
+        self.stall_dram += other.stall_dram;
+        self.stall_scratchpad += other.stall_scratchpad;
+        self.stall_stream += other.stall_stream;
+        self.stall_swap += other.stall_swap;
+    }
+}
+
+/// Running mean/min/max accumulator for scalar samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// Utilization of a set of busy intervals against a horizon, as used for
+/// the core-utilization plot (Figure 17).
+pub fn utilization(busy: SimDur, horizon: SimTime) -> f64 {
+    let h = horizon.as_secs_f64();
+    if h == 0.0 {
+        0.0
+    } else {
+        (busy.as_secs_f64() / h).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert!((geomean(&[3.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_zero_time_is_zero() {
+        assert_eq!(throughput_bps(100, SimDur::ZERO), 0.0);
+        let t = throughput_bps(1_000_000_000, SimDur::from_secs_f64(1.0));
+        assert!((bps_to_gbps(t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_and_merge() {
+        let mut a = CycleBreakdown {
+            busy: 10,
+            stall_dram: 30,
+            ..Default::default()
+        };
+        let b = CycleBreakdown {
+            busy: 5,
+            stall_l2: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 50);
+        assert!((a.memory_stall_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 6.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+        assert_eq!(Summary::new().mean(), None);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        assert_eq!(utilization(SimDur::from_us(2), SimTime::from_us(1)), 1.0);
+        assert_eq!(utilization(SimDur::ZERO, SimTime::ZERO), 0.0);
+    }
+}

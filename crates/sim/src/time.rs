@@ -1,0 +1,280 @@
+//! Picosecond-resolution simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, in picoseconds since simulation start.
+///
+/// Picoseconds let the simulator express the 0.5 ns streambuffer access and
+/// the 0.89 ns adjusted clock period of Section VI-F exactly, while a `u64`
+/// still spans ~213 days of simulated time.
+///
+/// ```
+/// use assasin_sim::{SimDur, SimTime};
+/// let t = SimTime::from_us(3) + SimDur::from_ns(500);
+/// assert_eq!(t.as_ps(), 3_500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// Kept distinct from [`SimTime`] so that instants and durations cannot be
+/// confused (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDur(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "unbounded" run limit.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Creates an instant from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+    /// Creates an instant from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+    /// Creates an instant from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`since` called with a later instant"),
+        )
+    }
+
+    /// Duration from `earlier` to `self`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDur {
+    /// The zero-length duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Creates a duration from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDur(ps)
+    }
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDur(ns * 1_000)
+    }
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDur(us * 1_000_000)
+    }
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDur(ms * 1_000_000_000)
+    }
+    /// Creates a duration from fractional seconds, rounding to picoseconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        SimDur((secs * 1e12).round() as u64)
+    }
+
+    /// Picoseconds in this duration.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Seconds in this duration, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two durations.
+    pub fn max(self, other: SimDur) -> SimDur {
+        SimDur(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDur {
+    fn sub_assign(&mut self, rhs: SimDur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDur {
+    fn sum<I: Iterator<Item = SimDur>>(iter: I) -> SimDur {
+        iter.fold(SimDur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ps(self.0))
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ps(self.0))
+    }
+}
+
+fn fmt_ps(ps: u64) -> String {
+    if ps >= 1_000_000_000_000 {
+        format!("{:.3}s", ps as f64 * 1e-12)
+    } else if ps >= 1_000_000_000 {
+        format!("{:.3}ms", ps as f64 * 1e-9)
+    } else if ps >= 1_000_000 {
+        format!("{:.3}us", ps as f64 * 1e-6)
+    } else if ps >= 1_000 {
+        format!("{:.3}ns", ps as f64 * 1e-3)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDur::from_secs_f64(0.5).as_ps(), 500_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_us(7);
+        let d = SimDur::from_ns(250);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(20);
+        assert_eq!(a.saturating_since(b), SimDur::ZERO);
+        assert_eq!(b.saturating_since(a), SimDur::from_ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::from_ns(1).since(SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDur::from_ns(500).to_string(), "500.000ns");
+        assert_eq!(SimTime::from_us(1500).to_string(), "1.500ms");
+        assert_eq!(SimDur::from_ps(3).to_string(), "3ps");
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDur = [SimDur::from_ns(1), SimDur::from_ns(2)].into_iter().sum();
+        assert_eq!(total, SimDur::from_ns(3));
+        assert_eq!(SimDur::from_ns(3) * 4, SimDur::from_ns(12));
+        assert_eq!(SimDur::from_ns(12) / 4, SimDur::from_ns(3));
+    }
+}

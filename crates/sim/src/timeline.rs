@@ -1,0 +1,265 @@
+//! Shared resources with earliest-fit (backfilling) arbitration.
+
+use crate::{SimDur, SimTime};
+use std::collections::VecDeque;
+
+/// A reservation handed out by [`Timeline::acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service actually began (>= the requested ready time).
+    pub start: SimTime,
+    /// When service completes and the resource frees.
+    pub end: SimTime,
+    /// Time spent queued before service began.
+    pub queued: SimDur,
+}
+
+/// An exclusive shared resource: a flash chip, a channel bus, a crossbar
+/// port, a DRAM bus slot.
+///
+/// Reservations are *earliest-fit*: a request ready at time `t` takes the
+/// first idle gap of sufficient length at or after `t`, even if later
+/// requests were already booked beyond it. This models a fair arbiter and
+/// keeps the bounded-slack co-simulation honest — cores are advanced one
+/// epoch at a time, so their requests arrive out of global time order, and
+/// strict FIFO booking would make each core queue behind every request the
+/// previously-simulated core issued during the whole epoch.
+///
+/// Gaps older than [`Timeline::PRUNE_WINDOW`] behind the newest request are
+/// permanently forfeited (bounded memory); the epoch length is far inside
+/// that window.
+///
+/// ```
+/// use assasin_sim::{SimDur, SimTime, Timeline};
+/// let mut bus = Timeline::new("channel-0");
+/// let a = bus.acquire(SimTime::ZERO, SimDur::from_us(4));
+/// let b = bus.acquire(SimTime::ZERO, SimDur::from_us(4));
+/// assert_eq!(b.start, a.end); // contended requests serialize
+/// assert_eq!(bus.busy_time(), SimDur::from_us(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    name: String,
+    /// Everything before this instant is settled; no new request may be
+    /// placed there.
+    floor: SimTime,
+    /// Disjoint, sorted busy intervals `(start, end)` in picoseconds, all
+    /// at or after `floor`.
+    intervals: VecDeque<(u64, u64)>,
+    newest_ready: SimTime,
+    busy: SimDur,
+    grants: u64,
+    queued_total: SimDur,
+}
+
+impl Timeline {
+    /// How far behind the newest request an idle gap stays claimable.
+    pub const PRUNE_WINDOW: SimDur = SimDur::from_ms(10);
+
+    /// Creates an idle resource. `name` appears in diagnostics only.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timeline {
+            name: name.into(),
+            floor: SimTime::ZERO,
+            intervals: VecDeque::new(),
+            newest_ready: SimTime::ZERO,
+            busy: SimDur::ZERO,
+            grants: 0,
+            queued_total: SimDur::ZERO,
+        }
+    }
+
+    /// Reserves the resource for `service` starting no earlier than
+    /// `ready`, in the earliest idle gap that fits.
+    pub fn acquire(&mut self, ready: SimTime, service: SimDur) -> Grant {
+        let ready = ready.max(self.floor);
+        self.newest_ready = self.newest_ready.max(ready);
+        let need = service.as_ps();
+        let mut start = ready.as_ps();
+        let mut insert_at = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if start + need <= s {
+                insert_at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        let end = start + need;
+        self.intervals.insert(insert_at, (start, end));
+        // Merge touching neighbors.
+        if insert_at + 1 < self.intervals.len() && self.intervals[insert_at].1 == self.intervals[insert_at + 1].0
+        {
+            let (_, e2) = self.intervals.remove(insert_at + 1).expect("bounds checked");
+            self.intervals[insert_at].1 = e2;
+        }
+        if insert_at > 0 && self.intervals[insert_at - 1].1 == self.intervals[insert_at].0 {
+            let (_, e2) = self.intervals.remove(insert_at).expect("bounds checked");
+            self.intervals[insert_at - 1].1 = e2;
+        }
+        self.prune();
+        self.busy += service;
+        self.grants += 1;
+        let start_t = SimTime::from_ps(start);
+        let queued = start_t.since(ready);
+        self.queued_total += queued;
+        Grant {
+            start: start_t,
+            end: SimTime::from_ps(end),
+            queued,
+        }
+    }
+
+    fn prune(&mut self) {
+        let cutoff = self.newest_ready.saturating_since(SimTime::ZERO);
+        let horizon = cutoff.saturating_sub(Self::PRUNE_WINDOW).as_ps();
+        while let Some(&(_, e)) = self.intervals.front() {
+            if e < horizon {
+                self.floor = self.floor.max(SimTime::from_ps(e));
+                self.intervals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// When the resource's last booked work completes.
+    pub fn free_at(&self) -> SimTime {
+        self.intervals
+            .back()
+            .map(|&(_, e)| SimTime::from_ps(e))
+            .unwrap_or(self.floor)
+    }
+
+    /// Total time the resource has spent serving requests.
+    pub fn busy_time(&self) -> SimDur {
+        self.busy
+    }
+
+    /// Number of grants served.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Cumulative queuing delay over all grants.
+    pub fn queued_time(&self) -> SimDur {
+        self.queued_total
+    }
+
+    /// Utilization over the window `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets busy/queue accounting without changing the schedule (used
+    /// when an experiment measures only its steady-state window).
+    pub fn reset_stats(&mut self) {
+        self.busy = SimDur::ZERO;
+        self.grants = 0;
+        self.queued_total = SimDur::ZERO;
+    }
+
+    /// Returns the resource to idle at t = 0 *and* clears accounting.
+    /// Used between experiment phases (e.g. after dataset loading) so each
+    /// measured run starts from a quiet device.
+    pub fn reset_time(&mut self) {
+        self.floor = SimTime::ZERO;
+        self.intervals.clear();
+        self.newest_ready = SimTime::ZERO;
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut t = Timeline::new("t");
+        let g = t.acquire(SimTime::from_ns(5), SimDur::from_ns(10));
+        assert_eq!(g.start, SimTime::from_ns(5));
+        assert_eq!(g.end, SimTime::from_ns(15));
+        assert_eq!(g.queued, SimDur::ZERO);
+    }
+
+    #[test]
+    fn busy_resource_queues() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(100));
+        let g = t.acquire(SimTime::from_ns(30), SimDur::from_ns(10));
+        assert_eq!(g.start, SimTime::from_ns(100));
+        assert_eq!(g.queued, SimDur::from_ns(70));
+    }
+
+    #[test]
+    fn gap_between_requests_leaves_idle_time() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(10));
+        t.acquire(SimTime::from_ns(100), SimDur::from_ns(10));
+        assert_eq!(t.busy_time(), SimDur::from_ns(20));
+        assert_eq!(t.free_at(), SimTime::from_ns(110));
+        let u = t.utilization(SimTime::from_ns(110));
+        assert!((u - 20.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backfill_takes_earlier_gaps() {
+        // A late-simulated requester with an early ready time slots into
+        // the idle gap instead of queueing at the tail.
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::from_ns(1000), SimDur::from_ns(100));
+        let g = t.acquire(SimTime::from_ns(10), SimDur::from_ns(50));
+        assert_eq!(g.start, SimTime::from_ns(10));
+        assert_eq!(g.queued, SimDur::ZERO);
+        // But a request too large for any gap lands after the tail.
+        let g = t.acquire(SimTime::from_ns(0), SimDur::from_ns(2000));
+        assert_eq!(g.start, SimTime::from_ns(1100));
+    }
+
+    #[test]
+    fn merging_keeps_intervals_compact() {
+        let mut t = Timeline::new("t");
+        for i in 0..100u64 {
+            t.acquire(SimTime::from_ns(i * 10), SimDur::from_ns(10));
+        }
+        assert_eq!(t.free_at(), SimTime::from_ns(1000));
+        assert_eq!(t.busy_time(), SimDur::from_ns(1000));
+    }
+
+    #[test]
+    fn reset_stats_keeps_schedule() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(10));
+        t.reset_stats();
+        assert_eq!(t.busy_time(), SimDur::ZERO);
+        assert_eq!(t.free_at(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn reset_time_clears_schedule() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ms(5));
+        t.reset_time();
+        assert_eq!(t.free_at(), SimTime::ZERO);
+        let g = t.acquire(SimTime::ZERO, SimDur::from_ns(1));
+        assert_eq!(g.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn old_gaps_are_forfeited() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(10));
+        // A request far in the future prunes the early region.
+        t.acquire(SimTime::from_ms(100), SimDur::from_ns(10));
+        let g = t.acquire(SimTime::ZERO, SimDur::from_ns(10));
+        assert!(g.start >= SimTime::from_ns(10), "early gap forfeited");
+    }
+}

@@ -1,0 +1,342 @@
+//! The firmware data plane: keeps streambuffers fed from flash through the
+//! crossbar, assembles ping-pong banks, and drains results to the host
+//! (Figure 10's control loop, driven demand-side by the cores).
+
+use crate::request::OutputTarget;
+use assasin_core::StreamEnv;
+use assasin_flash::{FlashArray, PhysPageAddr};
+use assasin_ftl::{Ftl, Lpa};
+use assasin_mem::{SharedDram, StreamBuffer};
+use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Per-request write-path state: each engine appends pages to its own
+/// disjoint LPA region.
+#[derive(Debug)]
+pub(crate) struct FlashOut {
+    /// Next LPA per engine.
+    pub next: Vec<u64>,
+    /// Pages written so far, per engine.
+    pub lpas: Vec<Vec<Lpa>>,
+    /// Partially-filled output page per engine.
+    pub fill: Vec<Vec<u8>>,
+    /// Latest program completion per engine (durability horizon).
+    pub prog_done: Vec<SimTime>,
+    pub page_bytes: u32,
+}
+
+/// One scheduled piece of an input stream: a flash page, possibly trimmed
+/// (task decomposition splits on object boundaries, so a core's range may
+/// start or end mid-page; boundary pages are fetched by both neighbors —
+/// the paper's "boundary overhead").
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PagePlan {
+    pub addr: PhysPageAddr,
+    pub offset: u32,
+    pub len: u32,
+}
+
+/// The page schedule of one input stream for one core.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamPlan {
+    pub pages: VecDeque<PagePlan>,
+}
+
+impl StreamPlan {
+    pub fn remaining_bytes(&self) -> u64 {
+        self.pages.iter().map(|p| p.len as u64).sum()
+    }
+}
+
+/// A page fetched by the flash controllers ahead of consumption: payload
+/// plus the time it is available at the core's crossbar port. Flash
+/// controllers pipeline senses across chips and queue pages in per-channel
+/// buffers (Section II-A), so arrival order and rate come from the
+/// chip/bus timelines, not from streambuffer occupancy.
+#[derive(Debug, Clone)]
+pub(crate) struct ScheduledPage {
+    pub data: Bytes,
+    pub arrival: SimTime,
+}
+
+/// The data plane servicing all cores of one `scomp` execution.
+pub(crate) struct Backend<'a> {
+    pub flash: &'a mut FlashArray,
+    pub ftl: &'a mut Ftl,
+    /// Where drained output goes.
+    pub target: OutputTarget,
+    /// Write-path bookkeeping (Some iff `target` is flash).
+    pub flash_out: Option<FlashOut>,
+    pub dram: SharedDram,
+    pub pcie: &'a mut Bandwidth,
+    /// Pre-scheduled page deliveries, [core][stream].
+    pub scheduled: Vec<Vec<VecDeque<ScheduledPage>>>,
+    pub outputs: Vec<Vec<u8>>,
+    /// Latest output-drain completion per core.
+    pub out_done: Vec<SimTime>,
+    pub pcie_latency: SimDur,
+    /// Ping-pong bank capacity (AssasinSp).
+    pub bank_bytes: u32,
+    /// Object granularity for bank assembly.
+    pub granularity: u32,
+    /// Input bytes actually streamed out of flash (excl. boundary refetch).
+    pub bytes_streamed: u64,
+    /// Per-core input bytes fetched.
+    pub per_core_streamed: Vec<u64>,
+}
+
+impl Backend<'_> {
+    /// Drains `bytes` of results to the request's output target. Returns
+    /// when the producing buffer frees (the ring-slot release time).
+    pub(crate) fn drain(&mut self, core: usize, data: &[u8], now: SimTime) -> SimTime {
+        self.outputs[core].extend_from_slice(data);
+        match self.target {
+            OutputTarget::Host => {
+                // Read path: stage in DRAM, DMA to the host.
+                let staged = self.dram.borrow_mut().post(now, data.len() as u64);
+                let done = self.pcie.transfer(staged, data.len() as u64) + self.pcie_latency;
+                self.out_done[core] = self.out_done[core].max(done);
+                done
+            }
+            OutputTarget::Flash { .. } => {
+                // Write path: results go straight back through the crossbar
+                // into flash pages — no DRAM, no PCIe.
+                let mut buffered = now;
+                let mut cursor = 0usize;
+                while cursor < data.len() {
+                    let page_bytes = {
+                        let fo = self.flash_out.as_ref().expect("write-path state");
+                        fo.page_bytes as usize
+                    };
+                    let room = {
+                        let fo = self.flash_out.as_mut().expect("write-path state");
+                        page_bytes - fo.fill[core].len()
+                    };
+                    let take = room.min(data.len() - cursor);
+                    {
+                        let fo = self.flash_out.as_mut().expect("write-path state");
+                        fo.fill[core].extend_from_slice(&data[cursor..cursor + take]);
+                    }
+                    cursor += take;
+                    let full = {
+                        let fo = self.flash_out.as_ref().expect("write-path state");
+                        fo.fill[core].len() == page_bytes
+                    };
+                    if full {
+                        buffered = buffered.max(self.flush_out_page(core, now));
+                    }
+                }
+                self.out_done[core] = self.out_done[core].max(buffered);
+                buffered
+            }
+        }
+    }
+
+    /// Writes the engine's pending output page (padded if partial) to its
+    /// next LPA. Returns the bus completion (buffer-free time).
+    pub(crate) fn flush_out_page(&mut self, core: usize, now: SimTime) -> SimTime {
+        let page_bytes = self
+            .flash_out
+            .as_ref()
+            .expect("write-path state")
+            .page_bytes as usize;
+        let (lpa, page) = {
+            let fo = self.flash_out.as_mut().expect("write-path state");
+            if fo.fill[core].is_empty() {
+                return now;
+            }
+            let mut page = std::mem::take(&mut fo.fill[core]);
+            page.resize(page_bytes, 0);
+            let lpa = Lpa(fo.next[core]);
+            fo.next[core] += 1;
+            fo.lpas[core].push(lpa);
+            (lpa, Bytes::from(page))
+        };
+        let (bus_done, prog_done) = self
+            .ftl
+            .write_detailed(self.flash, lpa, page, now)
+            .expect("write-path region stays within exported capacity");
+        let fo = self.flash_out.as_mut().expect("write-path state");
+        fo.prog_done[core] = fo.prog_done[core].max(prog_done);
+        bus_done
+    }
+}
+
+/// Turns per-core page plans into scheduled deliveries: flash reads are
+/// issued round-robin across cores/streams starting at the request's
+/// firmware-poll offset, so the channel and chip timelines determine each
+/// page's arrival (pipelined across chips, FIFO on each bus) and every
+/// core gets a fair share of the array.
+pub(crate) fn schedule_plans(
+    flash: &mut FlashArray,
+    crossbar: &mut [Timeline],
+    crossbar_rate: f64,
+    firmware_poll: SimDur,
+    plans: &mut [Vec<StreamPlan>],
+) -> Vec<Vec<VecDeque<ScheduledPage>>> {
+    let mut scheduled: Vec<Vec<VecDeque<ScheduledPage>>> = plans
+        .iter()
+        .map(|streams| streams.iter().map(|_| VecDeque::new()).collect())
+        .collect();
+    let issue = SimTime::ZERO + firmware_poll;
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (core, streams) in plans.iter_mut().enumerate() {
+            for (sid, plan) in streams.iter_mut().enumerate() {
+                let Some(page) = plan.pages.pop_front() else {
+                    continue;
+                };
+                progressed = true;
+                let flash_xfer = flash.timing().transfer_time(flash.geometry().page_bytes);
+                let (data, flash_arrival) = flash
+                    .read_page(page.addr, issue)
+                    .expect("scomp plans only reference written pages");
+                let payload =
+                    data.slice(page.offset as usize..(page.offset + page.len) as usize);
+                // The crossbar is cut-through (Figure 6: computing on data
+                // *streaming* between flash and the engines): the port
+                // transfer overlaps the channel-bus transfer, so it only
+                // delays arrival when several channels converge on one
+                // port faster than the port drains.
+                let xfer = SimDur::from_secs_f64(page.len as f64 / crossbar_rate);
+                let grant = crossbar[core].acquire(flash_arrival - flash_xfer, xfer);
+                let arrival = flash_arrival.max(grant.end) + SimDur::from_ns(200);
+                scheduled[core][sid].push_back(ScheduledPage {
+                    data: payload,
+                    arrival,
+                });
+            }
+        }
+    }
+    scheduled
+}
+
+impl StreamEnv for Backend<'_> {
+    fn refill_stream(&mut self, core: usize, sid: u32, _now: SimTime, sbuf: &mut StreamBuffer) {
+        loop {
+            if sbuf.free_slots(sid) == 0 {
+                return;
+            }
+            let Some(page) = self.scheduled[core]
+                .get_mut(sid as usize)
+                .and_then(|q| q.pop_front())
+            else {
+                let _ = sbuf.close(sid);
+                return;
+            };
+            let len = page.data.len() as u64;
+            self.bytes_streamed += len;
+            self.per_core_streamed[core] += len;
+            sbuf.push_page(sid, page.data, page.arrival)
+                .expect("slot checked");
+        }
+    }
+
+    fn drain_page(&mut self, core: usize, _sid: u32, page: Bytes, now: SimTime) -> SimTime {
+        self.drain(core, &page, now)
+    }
+
+    fn next_input_bank(&mut self, core: usize, now: SimTime) -> Option<(Bytes, SimTime)> {
+        let n_in = self.scheduled[core].len().max(1);
+        let chunk_target = {
+            let per = self.bank_bytes as usize / n_in;
+            (per / self.granularity as usize).max(1) * self.granularity as usize
+        };
+        if self.scheduled[core].iter().all(|q| q.is_empty()) {
+            return None;
+        }
+        let mut bank = Vec::with_capacity(chunk_target * n_in);
+        let mut ready = now;
+        // Pull an equal chunk from each stream so the kernel's
+        // `chunk = len / n_in` layout holds.
+        let take: usize = self.scheduled[core]
+            .iter()
+            .map(|q| {
+                let rem: usize = q.iter().map(|p| p.data.len()).sum();
+                rem.min(chunk_target)
+            })
+            .min()
+            .unwrap_or(0);
+        for sid in 0..n_in {
+            let mut got = 0usize;
+            while got < take {
+                let Some(front) = self.scheduled[core][sid].front_mut() else {
+                    break;
+                };
+                let want = take - got;
+                ready = ready.max(front.arrival);
+                let piece = if front.data.len() <= want {
+                    let page = self.scheduled[core][sid].pop_front().expect("front");
+                    page.data
+                } else {
+                    let head = front.data.slice(..want);
+                    front.data = front.data.slice(want..);
+                    head
+                };
+                got += piece.len();
+                self.bytes_streamed += piece.len() as u64;
+                self.per_core_streamed[core] += piece.len() as u64;
+                bank.extend_from_slice(&piece);
+            }
+        }
+        if bank.is_empty() {
+            return None;
+        }
+        Some((Bytes::from(bank), ready))
+    }
+
+    fn drain_bank(&mut self, core: usize, data: Bytes, now: SimTime) -> SimTime {
+        if data.is_empty() {
+            return now;
+        }
+        self.drain(core, &data, now)
+    }
+}
+
+/// Splits `total` bytes into `n` contiguous ranges aligned to
+/// `granularity` (task decomposition, Section V-D).
+pub(crate) fn split_ranges(total: u64, n: usize, granularity: u64) -> Vec<(u64, u64)> {
+    let objects = total / granularity;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start_obj = 0u64;
+    for i in 0..n as u64 {
+        let end_obj = objects * (i + 1) / n as u64;
+        ranges.push((start_obj * granularity, end_obj * granularity));
+        start_obj = end_obj;
+    }
+    // Any trailing partial object goes to the last core.
+    if let Some(last) = ranges.last_mut() {
+        last.1 = total;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exhaustive_and_aligned() {
+        let ranges = split_ranges(1000, 4, 48);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, 1000);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous");
+        }
+        for &(s, e) in &ranges[..3] {
+            assert_eq!(s % 48, 0);
+            assert_eq!(e % 48, 0);
+            assert!(e >= s);
+        }
+    }
+
+    #[test]
+    fn split_handles_more_cores_than_objects() {
+        let ranges = split_ranges(96, 8, 48);
+        assert_eq!(ranges.len(), 8);
+        let covered: u64 = ranges.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, 96);
+    }
+}

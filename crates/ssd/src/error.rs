@@ -1,0 +1,56 @@
+//! SSD-level errors.
+
+use assasin_ftl::FtlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by SSD operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsdError {
+    /// The FTL rejected an access.
+    Ftl(FtlError),
+    /// A compute engine hit a model error (a kernel/embedding bug).
+    CoreWedged(String),
+    /// The request was malformed (empty streams, mismatched lengths,
+    /// misaligned granularity).
+    BadRequest(String),
+    /// A simulation invariant failed (e.g. no forward progress).
+    Stuck(String),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::Ftl(e) => write!(f, "ftl error: {e}"),
+            SsdError::CoreWedged(m) => write!(f, "compute engine wedged: {m}"),
+            SsdError::BadRequest(m) => write!(f, "malformed scomp request: {m}"),
+            SsdError::Stuck(m) => write!(f, "simulation made no progress: {m}"),
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Ftl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for SsdError {
+    fn from(e: FtlError) -> Self {
+        SsdError::Ftl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SsdError>();
+    }
+}

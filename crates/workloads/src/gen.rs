@@ -1,0 +1,220 @@
+//! Deterministic TPC-H-like data generation (the `dbgen` substitute).
+
+use crate::{Table, TableId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Days between 1992-01-01 and 1998-12-31, TPC-H's date domain.
+pub const DATE_DAYS: u32 = 2557;
+
+/// Deterministic generator: the same `(sf, seed)` always produces the same
+/// dataset, so experiments are reproducible and goldens stable.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchGen {
+    sf: f64,
+    seed: u64,
+}
+
+impl TpchGen {
+    /// Creates a generator at scale factor `sf` (1.0 = the full TPC-H
+    /// sizes; the harness typically uses 0.001–0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive scale factors.
+    pub fn new(sf: f64, seed: u64) -> Self {
+        assert!(sf > 0.0 && sf.is_finite(), "scale factor must be positive");
+        TpchGen { sf, seed }
+    }
+
+    /// The configured scale factor.
+    pub fn scale_factor(&self) -> f64 {
+        self.sf
+    }
+
+    /// Scaled row count for a table.
+    pub fn rows(&self, id: TableId) -> u64 {
+        match id {
+            // Fixed-size dimension tables don't scale.
+            TableId::Nation | TableId::Region => id.base_rows(),
+            _ => ((id.base_rows() as f64 * self.sf) as u64).max(1),
+        }
+    }
+
+    fn rng_for(&self, id: TableId) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Generates one table.
+    pub fn table(&self, id: TableId) -> Table {
+        let rows = self.rows(id) as usize;
+        let mut rng = self.rng_for(id);
+        let orders = self.rows(TableId::Orders).max(1);
+        let parts = self.rows(TableId::Part).max(1);
+        let supps = self.rows(TableId::Supplier).max(1);
+        let custs = self.rows(TableId::Customer).max(1);
+        let mut data = Vec::with_capacity(rows * id.width());
+        match id {
+            TableId::Lineitem => {
+                // lineitem rows belong to orders: 1-7 lines per order, so
+                // generate by walking order keys like dbgen does.
+                let mut orderkey = 1u32;
+                let mut line = 1u32;
+                let mut lines_in_order = 1 + rng.gen_range(0..7);
+                for _ in 0..rows {
+                    if line > lines_in_order {
+                        orderkey = (orderkey % orders as u32) + 1;
+                        line = 1;
+                        lines_in_order = 1 + rng.gen_range(0..7);
+                    }
+                    let shipdate = rng.gen_range(0..DATE_DAYS);
+                    data.extend_from_slice(&[
+                        orderkey,
+                        1 + rng.gen_range(0..parts as u32),
+                        1 + rng.gen_range(0..supps as u32),
+                        line,
+                        1 + rng.gen_range(0..50),              // quantity
+                        100 + rng.gen_range(0..100_000),       // extendedprice (cents)
+                        rng.gen_range(0..11),                  // discount (%)
+                        rng.gen_range(0..9),                   // tax (%)
+                        rng.gen_range(0..3),                   // returnflag
+                        rng.gen_range(0..2),                   // linestatus
+                        shipdate,
+                        shipdate + 1 + rng.gen_range(0..30),   // receiptdate
+                    ]);
+                    line += 1;
+                }
+            }
+            TableId::Orders => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[
+                        i as u32 + 1,
+                        1 + rng.gen_range(0..custs as u32),
+                        rng.gen_range(0..3),             // orderstatus
+                        1000 + rng.gen_range(0..500_000), // totalprice
+                        rng.gen_range(0..DATE_DAYS),     // orderdate
+                        rng.gen_range(0..5),             // orderpriority
+                        rng.gen_range(0..2),             // shippriority
+                        rng.gen_range(0..1000),          // clerk
+                    ]);
+                }
+            }
+            TableId::Customer => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[
+                        i as u32 + 1,
+                        rng.gen_range(0..25), // nationkey
+                        rng.gen_range(0..1_000_000),
+                        rng.gen_range(0..5), // mktsegment
+                    ]);
+                }
+            }
+            TableId::Part => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[
+                        i as u32 + 1,
+                        rng.gen_range(0..25),  // brand
+                        rng.gen_range(0..150), // type
+                        1 + rng.gen_range(0..50),
+                        rng.gen_range(0..40),  // container
+                        900 + rng.gen_range(0..10_000),
+                    ]);
+                }
+            }
+            TableId::Supplier => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[
+                        i as u32 + 1,
+                        rng.gen_range(0..25),
+                        rng.gen_range(0..1_000_000),
+                        0,
+                    ]);
+                }
+            }
+            TableId::Partsupp => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[
+                        1 + (i as u32 % parts as u32),
+                        1 + rng.gen_range(0..supps as u32),
+                        1 + rng.gen_range(0..10_000),
+                        1 + rng.gen_range(0..100_000),
+                    ]);
+                }
+            }
+            TableId::Nation => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[i as u32, i as u32 % 5, 0, 0]);
+                }
+            }
+            TableId::Region => {
+                for i in 0..rows {
+                    data.extend_from_slice(&[i as u32, 0, 0, 0]);
+                }
+            }
+        }
+        Table::new(id, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineitem_cols as lc;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchGen::new(0.001, 7).table(TableId::Lineitem);
+        let b = TpchGen::new(0.001, 7).table(TableId::Lineitem);
+        assert_eq!(a, b);
+        let c = TpchGen::new(0.001, 8).table(TableId::Lineitem);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let g = TpchGen::new(0.01, 1);
+        assert_eq!(g.rows(TableId::Lineitem), 60_000);
+        assert_eq!(g.rows(TableId::Orders), 15_000);
+        assert_eq!(g.rows(TableId::Nation), 25, "dimensions don't scale");
+    }
+
+    #[test]
+    fn lineitem_value_domains() {
+        let t = TpchGen::new(0.001, 3).table(TableId::Lineitem);
+        for row in t.iter() {
+            assert!((1..=50).contains(&row[lc::QUANTITY as usize]));
+            assert!(row[lc::DISCOUNT as usize] <= 10);
+            assert!(row[lc::SHIPDATE as usize] < DATE_DAYS);
+            assert!(row[lc::RETURNFLAG as usize] < 3);
+        }
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let g = TpchGen::new(0.001, 3);
+        let li = g.table(TableId::Lineitem);
+        let orders = g.rows(TableId::Orders) as u32;
+        for row in li.iter() {
+            assert!((1..=orders).contains(&row[0]), "orderkey fk");
+        }
+    }
+
+    #[test]
+    fn shipdate_selectivity_is_uniform() {
+        // A one-year shipdate window should select ~1/7 of lineitem.
+        let t = TpchGen::new(0.01, 5).table(TableId::Lineitem);
+        let year = 365.0;
+        let hits = t
+            .iter()
+            .filter(|r| (365..365 + 365).contains(&r[lc::SHIPDATE as usize]))
+            .count() as f64;
+        let frac = hits / t.rows() as f64;
+        assert!((frac - year / DATE_DAYS as f64).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sf_rejected() {
+        let _ = TpchGen::new(0.0, 1);
+    }
+}

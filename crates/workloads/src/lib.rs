@@ -1,0 +1,25 @@
+//! TPC-H-like workload generation.
+//!
+//! The paper evaluates on TPC-H (SF 10) via SparkSQL (Section VI-A). This
+//! crate replaces `dbgen`: a deterministic generator for all eight TPC-H
+//! tables with simplified all-`u32` schemas that keep the benchmark's
+//! *structure* — key relationships, date ranges, selectivity-relevant value
+//! distributions — while staying directly consumable by the binary
+//! fixed-width kernels ([`Table::to_binary`]) and the text-parsing kernels
+//! ([`Table::to_csv`], `dbgen`'s `|`-delimited flat-file format).
+//!
+//! ```
+//! use assasin_workloads::{TpchGen, TableId};
+//! let gen = TpchGen::new(0.001, 42);
+//! let lineitem = gen.table(TableId::Lineitem);
+//! assert_eq!(lineitem.width(), 12);
+//! assert!(lineitem.rows() > 1000);
+//! let binary = lineitem.to_binary();
+//! assert_eq!(binary.len(), lineitem.rows() * 48);
+//! ```
+
+mod gen;
+mod schema;
+
+pub use gen::TpchGen;
+pub use schema::{lineitem_cols, Table, TableId};

@@ -1,0 +1,279 @@
+//! Table representation and schemas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TableId {
+    /// Order line items (the big one; 6M rows/SF).
+    Lineitem,
+    /// Orders (1.5M rows/SF).
+    Orders,
+    /// Customers (150K rows/SF).
+    Customer,
+    /// Parts (200K rows/SF).
+    Part,
+    /// Suppliers (10K rows/SF).
+    Supplier,
+    /// Part-supplier links (800K rows/SF).
+    Partsupp,
+    /// Nations (25 rows).
+    Nation,
+    /// Regions (5 rows).
+    Region,
+}
+
+impl TableId {
+    /// All tables.
+    pub const ALL: [TableId; 8] = [
+        TableId::Lineitem,
+        TableId::Orders,
+        TableId::Customer,
+        TableId::Part,
+        TableId::Supplier,
+        TableId::Partsupp,
+        TableId::Nation,
+        TableId::Region,
+    ];
+
+    /// Column names, in storage order.
+    pub fn columns(self) -> &'static [&'static str] {
+        match self {
+            TableId::Lineitem => &[
+                "orderkey",
+                "partkey",
+                "suppkey",
+                "linenumber",
+                "quantity",
+                "extendedprice",
+                "discount",
+                "tax",
+                "returnflag",
+                "linestatus",
+                "shipdate",
+                "receiptdate",
+            ],
+            TableId::Orders => &[
+                "orderkey",
+                "custkey",
+                "orderstatus",
+                "totalprice",
+                "orderdate",
+                "orderpriority",
+                "shippriority",
+                "clerk",
+            ],
+            TableId::Customer => &["custkey", "nationkey", "acctbal", "mktsegment"],
+            TableId::Part => &["partkey", "brand", "type", "size", "container", "retailprice"],
+            TableId::Supplier => &["suppkey", "nationkey", "acctbal", "pad"],
+            TableId::Partsupp => &["partkey", "suppkey", "availqty", "supplycost"],
+            TableId::Nation => &["nationkey", "regionkey", "pad0", "pad1"],
+            TableId::Region => &["regionkey", "pad0", "pad1", "pad2"],
+        }
+    }
+
+    /// Base row count at scale factor 1.0.
+    pub fn base_rows(self) -> u64 {
+        match self {
+            TableId::Lineitem => 6_000_000,
+            TableId::Orders => 1_500_000,
+            TableId::Customer => 150_000,
+            TableId::Part => 200_000,
+            TableId::Supplier => 10_000,
+            TableId::Partsupp => 800_000,
+            TableId::Nation => 25,
+            TableId::Region => 5,
+        }
+    }
+
+    /// Fields per row.
+    pub fn width(self) -> usize {
+        self.columns().len()
+    }
+
+    /// Column index by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist (a harness bug).
+    pub fn col(self, name: &str) -> u32 {
+        self.columns()
+            .iter()
+            .position(|&c| c == name)
+            .unwrap_or_else(|| panic!("{self:?} has no column {name}")) as u32
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TableId::Lineitem => "lineitem",
+            TableId::Orders => "orders",
+            TableId::Customer => "customer",
+            TableId::Part => "part",
+            TableId::Supplier => "supplier",
+            TableId::Partsupp => "partsupp",
+            TableId::Nation => "nation",
+            TableId::Region => "region",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Frequently-used lineitem column indices.
+pub mod lineitem_cols {
+    /// `l_quantity`.
+    pub const QUANTITY: u32 = 4;
+    /// `l_extendedprice`.
+    pub const EXTENDEDPRICE: u32 = 5;
+    /// `l_discount`.
+    pub const DISCOUNT: u32 = 6;
+    /// `l_returnflag`.
+    pub const RETURNFLAG: u32 = 8;
+    /// `l_linestatus`.
+    pub const LINESTATUS: u32 = 9;
+    /// `l_shipdate` (days since 1992-01-01).
+    pub const SHIPDATE: u32 = 10;
+}
+
+/// A row-major table of `u32` fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    id: TableId,
+    width: usize,
+    data: Vec<u32>,
+}
+
+impl Table {
+    /// Wraps generated row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of rows.
+    pub fn new(id: TableId, data: Vec<u32>) -> Self {
+        let width = id.width();
+        assert_eq!(data.len() % width, 0, "partial row");
+        Table { id, width, data }
+    }
+
+    /// Which table this is.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Fields per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// Bytes per row in binary form.
+    pub fn row_bytes(&self) -> usize {
+        self.width * 4
+    }
+
+    /// One row as a slice of fields.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// The raw row-major field buffer.
+    pub fn raw(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Serializes to the binary fixed-width little-endian form the Filter
+    /// and Select kernels consume.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Serializes to `dbgen`-style `|`-delimited ASCII (one line per row),
+    /// the form the Parse and PSF kernels consume.
+    pub fn to_csv(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 6);
+        for row in self.iter() {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(b'|');
+                }
+                out.extend_from_slice(itoa(*v).as_bytes());
+            }
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Parses the binary form back (inverse of [`Table::to_binary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a whole number of rows.
+    pub fn from_binary(id: TableId, bytes: &[u8]) -> Table {
+        assert_eq!(bytes.len() % (id.width() * 4), 0, "partial row");
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect();
+        Table::new(id, data)
+    }
+}
+
+fn itoa(v: u32) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_consistency() {
+        for t in TableId::ALL {
+            assert_eq!(t.width(), t.columns().len());
+            assert!(t.base_rows() > 0);
+        }
+        assert_eq!(TableId::Lineitem.width(), 12);
+        assert_eq!(TableId::Lineitem.col("shipdate"), lineitem_cols::SHIPDATE);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = Table::new(TableId::Region, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(t.rows(), 2);
+        let b = t.to_binary();
+        assert_eq!(Table::from_binary(TableId::Region, &b), t);
+    }
+
+    #[test]
+    fn csv_form_matches_dbgen_flavor() {
+        let t = Table::new(TableId::Region, vec![10, 0, 7, 42]);
+        assert_eq!(t.to_csv(), b"10|0|7|42\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "partial row")]
+    fn partial_rows_rejected() {
+        let _ = Table::new(TableId::Region, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let _ = TableId::Orders.col("nope");
+    }
+}

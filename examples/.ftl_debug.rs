@@ -1,0 +1,21 @@
+use assasin::flash::{FlashArray, FlashGeometry, FlashTiming};
+use assasin::ftl::{Ftl, Lpa};
+use assasin::sim::SimTime;
+use bytes::Bytes;
+
+fn main() {
+    let geom = FlashGeometry::small_for_tests();
+    let mut arr = FlashArray::new(geom, FlashTiming::default());
+    let mut ftl = Ftl::new(geom);
+    // Overwrite LPAs 0..12 repeatedly
+    for round in 0..50u32 {
+        for lpa in 0..12u64 {
+            let page = Bytes::from(vec![(round as u8).wrapping_add(lpa as u8); geom.page_bytes as usize]);
+            match ftl.write(&mut arr, Lpa(lpa), page, SimTime::ZERO) {
+                Ok(_) => {}
+                Err(e) => { println!("round {round} lpa {lpa}: {e}; stats {:?}", ftl.stats()); return; }
+            }
+        }
+    }
+    println!("ok, stats {:?}", ftl.stats());
+}

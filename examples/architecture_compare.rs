@@ -1,0 +1,65 @@
+//! Architecture shoot-out: the same Filter offload on all six Table IV
+//! engine architectures, showing the memory wall and how ASSASIN's
+//! streaming hierarchy removes it (the Section III / Figure 13 story in
+//! one program).
+//!
+//! Run with: `cargo run --release --example architecture_compare`
+
+use assasin::core::EngineKind;
+use assasin::kernels::query::{filter_golden, filter_program, FilterParams};
+use assasin::ssd::{KernelBundle, ScompRequest, Ssd, SsdConfig};
+use assasin::workloads::{lineitem_cols, TableId, TpchGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // TPC-H lineitem in its binary fixed-width form.
+    let gen = TpchGen::new(0.01, 7);
+    let table = gen.table(TableId::Lineitem);
+    let data = table.to_binary();
+    // Filter: one year of shipdates (~14% selectivity).
+    let params = FilterParams {
+        tuple_words: table.width() as u32,
+        pred_word: lineitem_cols::SHIPDATE,
+        lo: 365,
+        hi: 730,
+    };
+    let expect = filter_golden(&data, params);
+    println!(
+        "filtering {} tuples ({} MiB) -> {} tuples pass",
+        table.rows(),
+        data.len() >> 20,
+        expect.len() / table.row_bytes()
+    );
+    println!(
+        "{:<12} {:>9} {:>10} {:>12} {:>10}",
+        "engine", "GB/s", "speedup", "DRAM B/B", "result"
+    );
+
+    let mut baseline = 0.0;
+    for engine in EngineKind::ALL {
+        let mut ssd = Ssd::new(SsdConfig::engine_config(engine));
+        let lpas = ssd.load_object(0, &data)?;
+        let bundle = KernelBundle::new("filter", params.tuple_words * 4, 1.0, move |style| {
+            filter_program(style, params)
+        });
+        let request =
+            ScompRequest::new(bundle, vec![lpas]).with_stream_bytes(vec![data.len() as u64]);
+        let result = ssd.scomp(&request)?;
+        let gbps = result.throughput_gbps();
+        if engine == EngineKind::Baseline {
+            baseline = gbps;
+        }
+        let ok = result.concat_output() == expect;
+        println!(
+            "{:<12} {:>9.3} {:>9.2}x {:>12.2} {:>10}",
+            engine.label(),
+            gbps,
+            gbps / baseline,
+            result.dram_per_input_byte(),
+            if ok { "exact" } else { "MISMATCH" }
+        );
+        assert!(ok, "every architecture must produce identical results");
+    }
+    println!("\nall six architectures produced bit-identical output —");
+    println!("only the memory hierarchy (and therefore the speed) differs.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # ASSASIN — facade crate
+//!
+//! Reproduction of *ASSASIN: Architecture Support for Stream Computing to
+//! Accelerate Computational Storage* (Zou & Chien, MICRO 2022).
+//!
+//! This crate re-exports every subsystem of the reproduction so downstream
+//! users can depend on a single crate:
+//!
+//! * [`sim`] — timing substrate (timelines, bandwidth resources, clocks)
+//! * [`flash`] — NAND flash array model (MQSim-equivalent)
+//! * [`ftl`] — flash translation layer with striped allocation and skew
+//! * [`mem`] — caches, DCPT prefetcher, DRAM, scratchpad, streambuffer
+//! * [`isa`] — the ASSASIN instruction set and assembler
+//! * [`core`] — cycle-level in-order core model (Table IV variants)
+//! * [`ssd`] — the computational SSD assembly (crossbar, firmware, scomp)
+//! * [`kernels`] — offloaded functions written in the ASSASIN ISA
+//! * [`workloads`] — TPC-H-like data generation
+//! * [`analytics`] — mini relational engine + host model for end-to-end runs
+//! * [`power`] — power/area/SRAM-timing models
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use assasin_analytics as analytics;
+pub use assasin_core as core;
+pub use assasin_flash as flash;
+pub use assasin_ftl as ftl;
+pub use assasin_isa as isa;
+pub use assasin_kernels as kernels;
+pub use assasin_mem as mem;
+pub use assasin_power as power;
+pub use assasin_sim as sim;
+pub use assasin_ssd as ssd;
+pub use assasin_workloads as workloads;
