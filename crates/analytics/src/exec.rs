@@ -261,8 +261,11 @@ mod tests {
     #[test]
     fn join_matches_nested_loop_reference() {
         let mut p = provider();
-        let plan = Plan::scan(TableId::Orders, vec![], vec![0, 1])
-            .join(Plan::scan(TableId::Customer, vec![], vec![0, 1]), 1, 0);
+        let plan = Plan::scan(TableId::Orders, vec![], vec![0, 1]).join(
+            Plan::scan(TableId::Customer, vec![], vec![0, 1]),
+            1,
+            0,
+        );
         let mut ex = Executor::new(&mut p, HostCpuModel::default());
         let r = ex.run(&plan);
         // Every order has exactly one matching customer.

@@ -39,11 +39,7 @@ pub fn plan(q: u32) -> Plan {
 
         // Minimum-cost supplier: partsupp x part x supplier x nation.
         2 => Plan::scan(Partsupp, vec![], vec![0, 1, 3])
-            .join(
-                Plan::scan(Part, vec![Pred::eq(3, 15)], vec![0, 2]),
-                0,
-                0,
-            )
+            .join(Plan::scan(Part, vec![Pred::eq(3, 15)], vec![0, 2]), 0, 0)
             .join(Plan::scan(Supplier, vec![], vec![0, 1]), 1, 0)
             .join(Plan::scan(Nation, vec![], vec![0, 1]), 6, 0)
             .sort(2, false, Some(100)),
@@ -103,13 +99,21 @@ pub fn plan(q: u32) -> Plan {
         // Volume shipping: two-nation flows.
         7 => Plan::scan(Supplier, vec![], vec![0, 1])
             .join(
-                Plan::scan(Lineitem, vec![Pred::range(10, y(3), y(5))], vec![2, 0, 5, 10]),
+                Plan::scan(
+                    Lineitem,
+                    vec![Pred::range(10, y(3), y(5))],
+                    vec![2, 0, 5, 10],
+                ),
                 0,
                 0,
             )
             .join(Plan::scan(Orders, vec![], vec![0, 1]), 3, 0)
             .join(Plan::scan(Customer, vec![], vec![0, 1]), 7, 0)
-            .join(Plan::scan(Nation, vec![Pred::range(0, 0, 2)], vec![0]), 1, 0)
+            .join(
+                Plan::scan(Nation, vec![Pred::range(0, 0, 2)], vec![0]),
+                1,
+                0,
+            )
             .agg(vec![1, 9], vec![4])
             .sort(0, false, None),
 
@@ -170,7 +174,11 @@ pub fn plan(q: u32) -> Plan {
 
         // Customer distribution: customer left-ish join orders (inner here).
         13 => Plan::scan(Customer, vec![], vec![0])
-            .join(Plan::scan(Orders, vec![Pred::range(7, 0, 900)], vec![1, 0]), 0, 0)
+            .join(
+                Plan::scan(Orders, vec![Pred::range(7, 0, 900)], vec![1, 0]),
+                0,
+                0,
+            )
             .agg(vec![0], vec![])
             .agg(vec![1], vec![])
             .sort(1, true, None),
@@ -178,7 +186,11 @@ pub fn plan(q: u32) -> Plan {
         // Promotion effect: part x lineitem, one month.
         14 => Plan::scan(Part, vec![Pred::range(2, 0, 30)], vec![0])
             .join(
-                Plan::scan(Lineitem, vec![Pred::range(10, y(3), y(3) + 30)], vec![1, 5, 6]),
+                Plan::scan(
+                    Lineitem,
+                    vec![Pred::range(10, y(3), y(3) + 30)],
+                    vec![1, 5, 6],
+                ),
                 0,
                 0,
             )
@@ -259,10 +271,14 @@ pub fn plan(q: u32) -> Plan {
             .sort(1, true, Some(100)),
 
         // Global sales opportunity.
-        22 => Plan::scan(Customer, vec![Pred::range(2, 500_000, 1_000_000)], vec![0, 1, 2])
-            .join(Plan::scan(Orders, vec![], vec![1]), 0, 0)
-            .agg(vec![1], vec![2])
-            .sort(0, false, None),
+        22 => Plan::scan(
+            Customer,
+            vec![Pred::range(2, 500_000, 1_000_000)],
+            vec![0, 1, 2],
+        )
+        .join(Plan::scan(Orders, vec![], vec![1]), 0, 0)
+        .agg(vec![1], vec![2])
+        .sort(0, false, None),
 
         other => panic!("TPC-H has queries 1..=22, got {other}"),
     }

@@ -1,9 +1,27 @@
 //! Runs the full evaluation (every table and figure) and writes text +
 //! JSON reports under `reports/`.
+//!
+//! Independent experiments run concurrently as sweep tasks (the fig21
+//! result feeds fig22, so those two share a task); reports print and save
+//! in a fixed canonical order regardless of completion order, so serial
+//! (`RAYON_NUM_THREADS=1`) and parallel runs produce identical output.
+
 use assasin_bench::experiments::*;
-use assasin_bench::Scale;
+use assasin_bench::{sweep, Scale};
+use std::fmt::Display;
 use std::fs;
 use std::time::Instant;
+
+/// One finished report: `(name, rendered text, serialized JSON)`.
+type Report = (&'static str, String, serde_json::Value);
+
+fn render<R: Display + serde::Serialize>(name: &'static str, r: &R) -> Report {
+    (
+        name,
+        r.to_string(),
+        serde_json::to_value(r).expect("serializable"),
+    )
+}
 
 fn save(name: &str, text: &str, json: &serde_json::Value) {
     fs::create_dir_all("reports").expect("reports dir");
@@ -18,30 +36,70 @@ fn save(name: &str, text: &str, json: &serde_json::Value) {
 fn main() {
     let scale = Scale::from_env();
     let t0 = Instant::now();
-    macro_rules! run {
-        ($name:literal, $report:expr) => {{
-            let started = Instant::now();
-            let r = $report;
-            let text = r.to_string();
-            println!("{text}");
-            save($name, &text, &serde_json::to_value(&r).expect("serializable"));
-            eprintln!("[{}] done in {:.1}s", $name, started.elapsed().as_secs_f64());
-            r
-        }};
+    type Task = (&'static str, Box<dyn Fn() -> Vec<Report> + Send + Sync>);
+    // Canonical report order; each task may emit several reports.
+    let tasks: Vec<Task> = vec![
+        (
+            "table02",
+            Box::new(move || vec![render("table02", &table02::run(&scale))]),
+        ),
+        (
+            "table04",
+            Box::new(|| vec![render("table04", &table04::run())]),
+        ),
+        (
+            "fig05",
+            Box::new(move || vec![render("fig05", &fig05::run(&scale))]),
+        ),
+        (
+            "fig13",
+            Box::new(move || vec![render("fig13", &fig13::run(&scale))]),
+        ),
+        (
+            "fig14",
+            Box::new(move || vec![render("fig14", &fig14::run(&scale))]),
+        ),
+        (
+            "fig15",
+            Box::new(move || vec![render("fig15", &fig15::run(&scale))]),
+        ),
+        (
+            "fig16",
+            Box::new(move || vec![render("fig16", &fig16::run(&scale))]),
+        ),
+        (
+            "fig19",
+            Box::new(move || vec![render("fig19", &fig19::run(&scale))]),
+        ),
+        ("fig20", Box::new(|| vec![render("fig20", &fig20::run())])),
+        (
+            "fig21+fig22",
+            Box::new(move || {
+                // fig22 derives from the timing-adjusted speedups, so it
+                // rides in the same task as its fig21 dependency.
+                let f21 = fig21::run(&scale);
+                let f22 = fig22::run(&f21);
+                vec![render("fig21", &f21), render("fig22", &f22)]
+            }),
+        ),
+        (
+            "table05",
+            Box::new(|| vec![render("table05", &table05::run())]),
+        ),
+        (
+            "ablations",
+            Box::new(move || vec![render("ablations", &ablations::run(&scale))]),
+        ),
+    ];
+    let produced = sweep::run_points(&tasks, |(name, task)| {
+        let started = Instant::now();
+        let reports = task();
+        eprintln!("[{}] done in {:.1}s", name, started.elapsed().as_secs_f64());
+        reports
+    });
+    for (name, text, json) in produced.into_iter().flatten() {
+        println!("{text}");
+        save(name, &text, &json);
     }
-
-    run!("table02", table02::run(&scale));
-    run!("table04", table04::run());
-    run!("fig05", fig05::run(&scale));
-    run!("fig13", fig13::run(&scale));
-    run!("fig14", fig14::run(&scale));
-    run!("fig15", fig15::run(&scale));
-    run!("fig16", fig16::run(&scale));
-    run!("fig19", fig19::run(&scale));
-    run!("fig20", fig20::run());
-    let f21 = run!("fig21", fig21::run(&scale));
-    run!("fig22", fig22::run(&f21));
-    run!("table05", table05::run());
-    run!("ablations", ablations::run(&scale));
     eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

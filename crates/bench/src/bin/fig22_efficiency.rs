@@ -1,5 +1,8 @@
 //! Reproduces Figure 22 and Table V: power/area efficiency.
-use assasin_bench::{experiments::{fig21, fig22, table05}, Scale};
+use assasin_bench::{
+    experiments::{fig21, fig22, table05},
+    Scale,
+};
 
 fn main() {
     println!("{}", table05::run());

@@ -1,0 +1,115 @@
+//! A fixed small benchmark sweep for tracking harness performance.
+//!
+//! Runs a handful of experiments at test scale twice — once fully serial
+//! (`with_max_threads(1)`) and once with the default thread budget — and
+//! writes per-experiment wall-clock plus a representative simulated
+//! throughput to `BENCH_perf_smoke.json`. Rerun after harness or
+//! simulator changes to see the parallel-executor speedup and catch
+//! slowdowns in the hot paths.
+
+use assasin_bench::experiments::{fig13, fig14, fig16};
+use assasin_bench::Scale;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One experiment's measurement under one executor mode.
+#[derive(Debug, Serialize)]
+struct ExperimentSample {
+    /// Experiment name.
+    name: &'static str,
+    /// Wall-clock seconds for the run.
+    wall_secs: f64,
+    /// Representative simulated throughput from the report, GB/s
+    /// (AssasinSb where the experiment sweeps engines).
+    simulated_gbps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfSmokeReport {
+    /// Scale used (fixed test scale; not affected by `ASSASIN_SCALE`).
+    scale: &'static str,
+    /// Thread budget of the parallel pass (`RAYON_NUM_THREADS` or cores).
+    parallel_threads: usize,
+    /// Per-experiment samples with a single worker thread.
+    serial: Vec<ExperimentSample>,
+    /// Per-experiment samples with the default thread budget.
+    parallel: Vec<ExperimentSample>,
+    /// Total serial wall-clock, seconds.
+    serial_total_secs: f64,
+    /// Total parallel wall-clock, seconds.
+    parallel_total_secs: f64,
+    /// Serial / parallel wall-clock ratio.
+    speedup: f64,
+}
+
+fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.engine == "AssasinSb")
+        .map_or(0.0, |e| e.gbps)
+}
+
+fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
+    let mut samples = Vec::new();
+    let t = Instant::now();
+    let f13 = fig13::run_with(scale, false);
+    samples.push(ExperimentSample {
+        name: "fig13",
+        wall_secs: t.elapsed().as_secs_f64(),
+        simulated_gbps: f13
+            .functions
+            .first()
+            .map_or(0.0, |row| sb_gbps(&row.entries)),
+    });
+    let t = Instant::now();
+    let f14 = fig14::run_with(scale, false);
+    samples.push(ExperimentSample {
+        name: "fig14",
+        wall_secs: t.elapsed().as_secs_f64(),
+        simulated_gbps: f14
+            .entries
+            .iter()
+            .find(|e| e.engine == "AssasinSb")
+            .map_or(0.0, |e| e.gbps),
+    });
+    let t = Instant::now();
+    let f16 = fig16::run(scale);
+    samples.push(ExperimentSample {
+        name: "fig16",
+        wall_secs: t.elapsed().as_secs_f64(),
+        simulated_gbps: f16.points.last().map_or(0.0, |p| p.gbps),
+    });
+    samples
+}
+
+fn main() {
+    let scale = Scale::test_scale();
+
+    let t = Instant::now();
+    let serial = assasin_parallel::with_max_threads(1, || run_suite(&scale));
+    let serial_total_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let parallel = run_suite(&scale);
+    let parallel_total_secs = t.elapsed().as_secs_f64();
+
+    let report = PerfSmokeReport {
+        scale: "test",
+        parallel_threads: assasin_parallel::current_max_threads(),
+        serial,
+        parallel,
+        serial_total_secs,
+        parallel_total_secs,
+        speedup: serial_total_secs / parallel_total_secs.max(1e-9),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write("BENCH_perf_smoke.json", &json).expect("write BENCH_perf_smoke.json");
+    println!("{json}");
+    eprintln!(
+        "perf_smoke: serial {:.2}s, parallel {:.2}s ({} threads) -> {:.2}x",
+        report.serial_total_secs,
+        report.parallel_total_secs,
+        report.parallel_threads,
+        report.speedup
+    );
+}

@@ -1,12 +1,13 @@
 //! Ready-to-offload kernel bundles (program generators + function state).
 
-use assasin_kernels::{aes, compress, dedup, graph, nn, nn_train, query, raid, replicate, scan, stat};
+use assasin_kernels::{
+    aes, compress, dedup, graph, nn, nn_train, query, raid, replicate, scan, stat,
+};
 use assasin_ssd::KernelBundle;
 
 /// The benchmark AES key (the FIPS-197 example key).
 pub const AES_KEY: [u8; 16] = [
-    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
-    0x0f,
+    0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
 ];
 
 /// The byte-scan kernel (Figures 16–19).
@@ -106,6 +107,7 @@ pub fn psf_bundle(p: query::PsfParams) -> KernelBundle {
     KernelBundle::new("psf", 1, out_ratio.max(0.8), move |s| {
         query::psf_program(s, &p)
     })
+    .with_record_delim(b'\n')
 }
 
 #[cfg(test)]

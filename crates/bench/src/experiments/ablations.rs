@@ -6,6 +6,7 @@
 use crate::bundles::stat_bundle;
 use crate::report;
 use crate::runner::offload;
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_sim::SimDur;
@@ -38,78 +39,65 @@ pub struct AblationReport {
 }
 
 fn run_stat(cfg: SsdConfig, bytes: usize) -> f64 {
-    let data = vec![
-        (0..bytes)
-            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9) >> 11) as u8)
-            .collect::<Vec<u8>>(),
-    ];
+    let data = vec![(0..bytes)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9) >> 11) as u8)
+        .collect::<Vec<u8>>()];
     let mut ssd = Ssd::new(cfg);
     offload(&mut ssd, stat_bundle(), &data)
         .expect("stat offload")
         .throughput_gbps()
 }
 
-/// Runs all sweeps.
+/// Runs all sweeps. Every (knob, value) pair is an independent sweep
+/// point over its own SSD; the flat result vector is partitioned back
+/// into the five sweeps by construction order.
 pub fn run(scale: &Scale) -> AblationReport {
     let n = scale.standalone_bytes;
     let base = || SsdConfig::engine_config(EngineKind::AssasinSb);
 
-    let sb_pages = [1u32, 2, 4, 8]
-        .iter()
-        .map(|&p| {
-            let mut cfg = base();
-            cfg.sb_pages = Some(p);
-            Point {
-                value: p as f64,
-                gbps: run_stat(cfg, n),
-            }
-        })
-        .collect();
+    // (sweep index, reported knob value, config) — built in report order.
+    let mut configs: Vec<(usize, f64, SsdConfig)> = Vec::new();
+    for &p in &[1u32, 2, 4, 8] {
+        let mut cfg = base();
+        cfg.sb_pages = Some(p);
+        configs.push((0, p as f64, cfg));
+    }
+    for &bw in &[0.5e9, 1.0e9, 2.0e9, 8.0e9] {
+        let mut cfg = base();
+        cfg.crossbar_port_bw = bw;
+        configs.push((1, bw / 1e9, cfg));
+    }
+    for &us in &[0u64, 1, 5, 20] {
+        let mut cfg = base();
+        cfg.firmware_poll = SimDur::from_us(us);
+        configs.push((2, us as f64, cfg));
+    }
+    for (i, engine) in [EngineKind::Baseline, EngineKind::AssasinSb]
+        .into_iter()
+        .enumerate()
+    {
+        for &bw in &[4.0e9, 8.0e9, 16.0e9, 32.0e9] {
+            let mut cfg = SsdConfig::engine_config(engine);
+            cfg.dram_bw = bw;
+            configs.push((3 + i, bw / 1e9, cfg));
+        }
+    }
 
-    let crossbar_bw = [0.5e9, 1.0e9, 2.0e9, 8.0e9]
-        .iter()
-        .map(|&bw| {
-            let mut cfg = base();
-            cfg.crossbar_port_bw = bw;
-            Point {
-                value: bw / 1e9,
-                gbps: run_stat(cfg, n),
-            }
-        })
-        .collect();
-
-    let firmware_poll_us = [0u64, 1, 5, 20]
-        .iter()
-        .map(|&us| {
-            let mut cfg = base();
-            cfg.firmware_poll = SimDur::from_us(us);
-            Point {
-                value: us as f64,
-                gbps: run_stat(cfg, n),
-            }
-        })
-        .collect();
-
-    let dram_sweep = |engine: EngineKind| {
-        [4.0e9, 8.0e9, 16.0e9, 32.0e9]
-            .iter()
-            .map(|&bw| {
-                let mut cfg = SsdConfig::engine_config(engine);
-                cfg.dram_bw = bw;
-                Point {
-                    value: bw / 1e9,
-                    gbps: run_stat(cfg, n),
-                }
-            })
-            .collect::<Vec<_>>()
-    };
-
+    let measured = sweep::run_points(&configs, |&(_, value, cfg)| Point {
+        value,
+        gbps: run_stat(cfg, n),
+    });
+    let mut sweeps: Vec<Vec<Point>> = vec![Vec::new(); 5];
+    for ((sweep_idx, _, _), point) in configs.iter().zip(measured) {
+        sweeps[*sweep_idx].push(point);
+    }
+    let mut it = sweeps.into_iter();
     AblationReport {
-        sb_pages,
-        crossbar_bw,
-        firmware_poll_us,
-        baseline_dram_bw: dram_sweep(EngineKind::Baseline),
-        assasin_dram_bw: dram_sweep(EngineKind::AssasinSb),
+        sb_pages: it.next().unwrap(),
+        crossbar_bw: it.next().unwrap(),
+        firmware_poll_us: it.next().unwrap(),
+        baseline_dram_bw: it.next().unwrap(),
+        assasin_dram_bw: it.next().unwrap(),
     }
 }
 
@@ -125,7 +113,12 @@ fn fmt_sweep(f: &mut fmt::Formatter<'_>, title: &str, unit: &str, pts: &[Point])
 impl fmt::Display for AblationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablations (Stat kernel, 8 engines)")?;
-        fmt_sweep(f, "\nstreambuffer ring depth (Table IV picks P=2):", "P", &self.sb_pages)?;
+        fmt_sweep(
+            f,
+            "\nstreambuffer ring depth (Table IV picks P=2):",
+            "P",
+            &self.sb_pages,
+        )?;
         fmt_sweep(f, "\ncrossbar port bandwidth:", "GB/s", &self.crossbar_bw)?;
         fmt_sweep(f, "\nfirmware poll period:", "us", &self.firmware_poll_us)?;
         fmt_sweep(

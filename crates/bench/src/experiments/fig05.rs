@@ -8,6 +8,7 @@
 use crate::bundles::filter_bundle;
 use crate::report;
 use crate::runner::{offload, ssd_with};
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_kernels::query::FilterParams;
@@ -45,13 +46,22 @@ pub struct Fig05Report {
     pub dram_requirement_gbps: f64,
 }
 
-/// Runs the experiment.
+/// Runs the experiment — a single-point sweep (one core, one workload).
 pub fn run(scale: &Scale) -> Fig05Report {
     let gen = TpchGen::new(scale.sf.max(0.002), scale.seed);
     let data = gen.table(TableId::Lineitem).to_binary();
-    let mut ssd = ssd_with(EngineKind::Baseline, 1, false, false);
-    let result = offload(&mut ssd, filter_bundle(motivating_filter()), &[data])
-        .expect("filter offload completes");
+    let point = sweep::SweepPoint::new("filter", EngineKind::Baseline).cores(1);
+    let result = sweep::run_points(&[point], |p| {
+        let mut ssd = ssd_with(p.engine, p.n_cores, p.adjusted, p.channel_local);
+        offload(
+            &mut ssd,
+            filter_bundle(motivating_filter()),
+            std::slice::from_ref(&data),
+        )
+        .expect("filter offload completes")
+    })
+    .pop()
+    .expect("one point");
     let b = result.total_breakdown();
     let total = b.total().max(1) as f64;
     let per_byte = result.dram_per_input_byte();
@@ -75,10 +85,22 @@ impl fmt::Display for Fig05Report {
         )?;
         writeln!(f, "Figure 5 cycle decomposition:")?;
         let rows = vec![
-            vec!["busy".to_string(), format!("{:.1}%", self.busy_frac * 100.0)],
-            vec!["L1 stall".to_string(), format!("{:.1}%", self.l1_frac * 100.0)],
-            vec!["L2 stall".to_string(), format!("{:.1}%", self.l2_frac * 100.0)],
-            vec!["DRAM stall".to_string(), format!("{:.1}%", self.dram_frac * 100.0)],
+            vec![
+                "busy".to_string(),
+                format!("{:.1}%", self.busy_frac * 100.0),
+            ],
+            vec![
+                "L1 stall".to_string(),
+                format!("{:.1}%", self.l1_frac * 100.0),
+            ],
+            vec![
+                "L2 stall".to_string(),
+                format!("{:.1}%", self.l2_frac * 100.0),
+            ],
+            vec![
+                "DRAM stall".to_string(),
+                format!("{:.1}%", self.dram_frac * 100.0),
+            ],
         ];
         write!(f, "{}", report::table(&["component", "cycles"], &rows))?;
         writeln!(

@@ -9,6 +9,7 @@
 use crate::bundles;
 use crate::report;
 use crate::runner::offload_fresh;
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use serde::Serialize;
@@ -56,14 +57,8 @@ pub fn workloads(scale: &Scale) -> Vec<(&'static str, Vec<Vec<u8>>)> {
     let n = scale.standalone_bytes;
     vec![
         ("stat", vec![pattern(n, 1)]),
-        (
-            "raid4",
-            (0..4).map(|s| pattern(n / 4, 10 + s)).collect(),
-        ),
-        (
-            "raid6",
-            (0..4).map(|s| pattern(n / 8, 20 + s)).collect(),
-        ),
+        ("raid4", (0..4).map(|s| pattern(n / 4, 10 + s)).collect()),
+        ("raid6", (0..4).map(|s| pattern(n / 8, 20 + s)).collect()),
         ("aes", vec![pattern(scale.aes_bytes, 30)]),
     ]
 }
@@ -79,34 +74,45 @@ fn bundle_for(name: &str) -> assasin_ssd::KernelBundle {
 }
 
 /// Runs the standalone sweep (shared by Figures 13 and 21).
+///
+/// Every (function, engine) pair is an independent sweep point; speedups
+/// over Baseline are derived after reassembly (`EngineKind::ALL` puts
+/// Baseline first in each row).
 pub fn run_with(scale: &Scale, adjusted: bool) -> Fig13Report {
-    let mut functions = Vec::new();
-    for (name, streams) in workloads(scale) {
-        let mut entries = Vec::new();
-        let mut baseline_gbps = 0.0;
-        for engine in EngineKind::ALL {
-            let r = offload_fresh(engine, adjusted, bundle_for(name), &streams)
-                .unwrap_or_else(|e| panic!("{name} on {engine:?}: {e}"));
-            let gbps = r.throughput_gbps();
-            if engine == EngineKind::Baseline {
-                baseline_gbps = gbps;
+    let wl = workloads(scale);
+    let indices: Vec<usize> = (0..wl.len()).collect();
+    let points = sweep::grid(&indices, &EngineKind::ALL);
+    let measured = sweep::run_points(&points, |&(wi, engine)| {
+        let (name, streams) = &wl[wi];
+        let r = offload_fresh(engine, adjusted, bundle_for(name), streams)
+            .unwrap_or_else(|e| panic!("{name} on {engine:?}: {e}"));
+        (r.throughput_gbps(), r.dram_per_input_byte())
+    });
+    let functions = sweep::rows_of(measured, EngineKind::ALL.len())
+        .into_iter()
+        .zip(&wl)
+        .map(|(row, (name, _))| {
+            let baseline_gbps = row[0].0;
+            let entries = EngineKind::ALL
+                .iter()
+                .zip(row)
+                .map(|(engine, (gbps, dram_per_byte))| Entry {
+                    engine: engine.label().to_string(),
+                    gbps,
+                    speedup: if baseline_gbps > 0.0 {
+                        gbps / baseline_gbps
+                    } else {
+                        0.0
+                    },
+                    dram_per_byte,
+                })
+                .collect();
+            FunctionRow {
+                name: name.to_string(),
+                entries,
             }
-            entries.push(Entry {
-                engine: engine.label().to_string(),
-                gbps,
-                speedup: if baseline_gbps > 0.0 {
-                    gbps / baseline_gbps
-                } else {
-                    0.0
-                },
-                dram_per_byte: r.dram_per_input_byte(),
-            });
-        }
-        functions.push(FunctionRow {
-            name: name.to_string(),
-            entries,
-        });
-    }
+        })
+        .collect();
     Fig13Report {
         adjusted,
         functions,
@@ -145,17 +151,17 @@ impl fmt::Display for Fig13Report {
                 headers.push(Box::leak(e.engine.clone().into_boxed_str()));
             }
         }
-        let rows: Vec<Vec<String>> = self
-            .functions
-            .iter()
-            .map(|row| {
-                let mut cells = vec![row.name.clone()];
-                cells.extend(row.entries.iter().map(|e| {
-                    format!("{} ({})", report::gbps(e.gbps), report::ratio(e.speedup))
-                }));
-                cells
-            })
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.functions
+                .iter()
+                .map(|row| {
+                    let mut cells = vec![row.name.clone()];
+                    cells.extend(row.entries.iter().map(|e| {
+                        format!("{} ({})", report::gbps(e.gbps), report::ratio(e.speedup))
+                    }));
+                    cells
+                })
+                .collect();
         write!(f, "{}", report::table(&headers, &rows))
     }
 }
@@ -178,10 +184,7 @@ mod tests {
         for func in ["stat", "raid4", "raid6", "aes"] {
             let sb = r.speedup(func, "AssasinSb").unwrap();
             let sbc = r.speedup(func, "AssasinSb$").unwrap();
-            assert!(
-                (sb - sbc).abs() / sb < 0.05,
-                "{func}: Sb {sb} vs Sb$ {sbc}"
-            );
+            assert!((sb - sbc).abs() / sb < 0.05, "{func}: Sb {sb} vs Sb$ {sbc}");
         }
         // Compute intensity shrinks the benefit: AES speedup below stat's.
         let aes = r.speedup("aes", "AssasinSb").unwrap();

@@ -8,6 +8,7 @@
 use crate::bundles::psf_bundle;
 use crate::report;
 use crate::runner::offload_fresh;
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_kernels::query::PsfParams;
@@ -56,25 +57,33 @@ pub struct Fig14Report {
 }
 
 /// Runs the PSF sweep (shared by Figures 14 and 21).
+///
+/// One sweep point per engine; speedups over the (first) Baseline point
+/// are derived after reassembly.
 pub fn run_with(scale: &Scale, adjusted: bool) -> Fig14Report {
     let gen = TpchGen::new(scale.sf, scale.seed);
     let csv = gen.table(TableId::Lineitem).to_csv();
     let input_bytes = csv.len() as u64;
-    let mut entries = Vec::new();
-    let mut baseline = 0.0;
-    for engine in EngineKind::ALL {
-        let r = offload_fresh(engine, adjusted, psf_bundle(psf_params()), std::slice::from_ref(&csv))
-            .unwrap_or_else(|e| panic!("psf on {engine:?}: {e}"));
-        let gbps = r.throughput_gbps();
-        if engine == EngineKind::Baseline {
-            baseline = gbps;
-        }
-        entries.push(Entry {
+    let measured = sweep::run_points(&EngineKind::ALL, |&engine| {
+        let r = offload_fresh(
+            engine,
+            adjusted,
+            psf_bundle(psf_params()),
+            std::slice::from_ref(&csv),
+        )
+        .unwrap_or_else(|e| panic!("psf on {engine:?}: {e}"));
+        r.throughput_gbps()
+    });
+    let baseline = measured[0];
+    let entries = EngineKind::ALL
+        .iter()
+        .zip(measured)
+        .map(|(engine, gbps)| Entry {
             engine: engine.label().to_string(),
             gbps,
             speedup: if baseline > 0.0 { gbps / baseline } else { 0.0 },
-        });
-    }
+        })
+        .collect();
     Fig14Report {
         adjusted,
         input_bytes,
@@ -103,7 +112,11 @@ impl fmt::Display for Fig14Report {
             f,
             "Figure 14: PSF pipeline over lineitem flat file ({} MiB{})",
             self.input_bytes >> 20,
-            if self.adjusted { ", timing-adjusted" } else { "" }
+            if self.adjusted {
+                ", timing-adjusted"
+            } else {
+                ""
+            }
         )?;
         let rows: Vec<Vec<String>> = self
             .entries

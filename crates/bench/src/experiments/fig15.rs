@@ -7,6 +7,7 @@
 
 use crate::provider::{CpuOnlyProvider, SsdScanProvider};
 use crate::report;
+use crate::sweep;
 use crate::Scale;
 use assasin_analytics::{queries, Executor, HostCpuModel, ScanProvider};
 use assasin_core::EngineKind;
@@ -59,24 +60,43 @@ fn run_mode(provider: &mut dyn ScanProvider, q: u32) -> SimDur {
     ex.run(&plan).total()
 }
 
+/// The three system configurations of Figure 15.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    CpuOnly,
+    Baseline,
+    Assasin,
+}
+
 /// Runs the experiment. Queries can be limited (tests) via `max_q`.
+///
+/// The three system configurations are independent sweep points (each
+/// owns its provider, whose SSD carries state across queries); the 22
+/// queries run serially inside each point, exactly as in a serial run.
 pub fn run_queries(scale: &Scale, max_q: u32) -> Fig15Report {
     let gen = TpchGen::new(scale.sf, scale.seed);
-    let mut cpu = CpuOnlyProvider::new(&gen);
-    let mut base = SsdScanProvider::new(EngineKind::Baseline, &gen);
-    let mut sb = SsdScanProvider::new(EngineKind::AssasinSb, &gen);
-    let mut rows = Vec::new();
-    for q in queries::all_ids().filter(|&q| q <= max_q) {
-        let cpu_ms = run_mode(&mut cpu, q).as_secs_f64() * 1e3;
-        let base_ms = run_mode(&mut base, q).as_secs_f64() * 1e3;
-        let sb_ms = run_mode(&mut sb, q).as_secs_f64() * 1e3;
-        rows.push(QueryRow {
+    let qs: Vec<u32> = queries::all_ids().filter(|&q| q <= max_q).collect();
+    let modes = [Mode::CpuOnly, Mode::Baseline, Mode::Assasin];
+    let per_mode: Vec<Vec<f64>> = sweep::run_points(&modes, |mode| {
+        let mut provider: Box<dyn ScanProvider> = match mode {
+            Mode::CpuOnly => Box::new(CpuOnlyProvider::new(&gen)),
+            Mode::Baseline => Box::new(SsdScanProvider::new(EngineKind::Baseline, &gen)),
+            Mode::Assasin => Box::new(SsdScanProvider::new(EngineKind::AssasinSb, &gen)),
+        };
+        qs.iter()
+            .map(|&q| run_mode(provider.as_mut(), q).as_secs_f64() * 1e3)
+            .collect()
+    });
+    let rows: Vec<QueryRow> = qs
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| QueryRow {
             query: q,
-            cpu_only_ms: cpu_ms,
-            baseline_ms: base_ms,
-            assasin_ms: sb_ms,
-        });
-    }
+            cpu_only_ms: per_mode[0][i],
+            baseline_ms: per_mode[1][i],
+            assasin_ms: per_mode[2][i],
+        })
+        .collect();
     let b_vs_c: Vec<f64> = rows.iter().map(|r| r.baseline_vs_cpu()).collect();
     let a_vs_b: Vec<f64> = rows.iter().map(|r| r.assasin_vs_baseline()).collect();
     Fig15Report {

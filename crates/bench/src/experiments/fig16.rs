@@ -9,6 +9,7 @@
 use crate::bundles::scan_bundle;
 use crate::report;
 use crate::runner::{offload, ssd_with};
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_workloads::{TableId, TpchGen};
@@ -67,22 +68,44 @@ pub fn run(scale: &Scale) -> Fig16Report {
         let sample = &data[..(1 << 20).min(data.len())];
         let mut env = SyntheticEnv::new(8, 4096);
         env.set_input(0, sample);
-        let mut core = Core::new(0, CoreConfig::assasin_sb(), scan::program(AccessStyle::Stream), None);
+        let mut core = Core::new(
+            0,
+            CoreConfig::assasin_sb(),
+            scan::program(AccessStyle::Stream),
+            None,
+        );
         core.run_to_halt(&mut env);
         sample.len() as f64 / core.cycles() as f64 // bytes/cycle == GB/s at 1 GHz
     };
 
+    // Each core count is an independent sweep point over its own SSD;
+    // normalization happens after reassembly (it only needs the
+    // calibration constant above).
+    let measured = sweep::run_points(&CORE_COUNTS, |&cores| {
+        let mut ssd = ssd_with(EngineKind::AssasinSb, cores, false, false);
+        let flash_bound_gbps = ssd.config().flash_bw() / 1e9;
+        let r =
+            offload(&mut ssd, scan_bundle(), std::slice::from_ref(&data)).expect("scan completes");
+        let utilization =
+            r.per_core.iter().map(|c| c.utilization).sum::<f64>() / r.per_core.len().max(1) as f64;
+        let secs = r.elapsed.as_secs_f64();
+        let channel_gbps: Vec<f64> = r
+            .channel_bytes
+            .iter()
+            .map(|&b| b as f64 / secs / 1e9)
+            .collect();
+        (
+            flash_bound_gbps,
+            r.throughput_gbps(),
+            utilization,
+            channel_gbps,
+        )
+    });
     let mut points = Vec::new();
     let mut channel_gbps = Vec::new();
     let mut flash_bound_gbps = 8.0;
-    for &cores in &CORE_COUNTS {
-        let mut ssd = ssd_with(EngineKind::AssasinSb, cores, false, false);
-        flash_bound_gbps = ssd.config().flash_bw() / 1e9;
-        let r = offload(&mut ssd, scan_bundle(), std::slice::from_ref(&data))
-            .expect("scan completes");
-        let gbps = r.throughput_gbps();
-        let utilization =
-            r.per_core.iter().map(|c| c.utilization).sum::<f64>() / r.per_core.len().max(1) as f64;
+    for (&cores, (bound, gbps, utilization, channels)) in CORE_COUNTS.iter().zip(measured) {
+        flash_bound_gbps = bound;
         // Ideal utilization: what the nominal bandwidth relationship
         // between cores and channels allows (Figure 17's normalization).
         let ideal = (flash_bound_gbps / (cores as f64 * core_rate_gbps)).min(1.0);
@@ -93,12 +116,7 @@ pub fn run(scale: &Scale) -> Fig16Report {
             normalized_utilization: (utilization / ideal).min(1.0),
         });
         if cores == 8 {
-            let secs = r.elapsed.as_secs_f64();
-            channel_gbps = r
-                .channel_bytes
-                .iter()
-                .map(|&b| b as f64 / secs / 1e9)
-                .collect();
+            channel_gbps = channels;
         }
     }
     Fig16Report {
@@ -160,7 +178,11 @@ impl fmt::Display for Fig16Report {
             .map(|(i, g)| vec![format!("ch{i}"), report::gbps(*g)])
             .collect();
         write!(f, "{}", report::table(&["channel", "GB/s"], &rows))?;
-        writeln!(f, "channel skew = {:.4} (0 = perfectly balanced)", self.channel_skew())
+        writeln!(
+            f,
+            "channel skew = {:.4} (0 = perfectly balanced)",
+            self.channel_skew()
+        )
     }
 }
 
@@ -173,13 +195,7 @@ mod tests {
         let mut s = Scale::test_scale();
         s.scalability_bytes = 4 << 20;
         let r = run(&s);
-        let by_cores = |n: usize| {
-            r.points
-                .iter()
-                .find(|p| p.cores == n)
-                .expect("swept")
-                .gbps
-        };
+        let by_cores = |n: usize| r.points.iter().find(|p| p.cores == n).expect("swept").gbps;
         // Near-linear from 1 to 4 cores.
         let one = by_cores(1);
         assert!((0.8..=1.3).contains(&one), "1-core scan {one} GB/s");

@@ -11,6 +11,7 @@
 use crate::bundles::heavy_scan_bundle;
 use crate::report;
 use crate::runner::ssd_with;
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_ftl::placement::Placement;
@@ -47,7 +48,9 @@ pub struct Fig19Report {
 fn run_one(skew: f64, data: &[u8], channel_local: bool) -> (f64, f64) {
     let mut ssd: Ssd = ssd_with(EngineKind::AssasinSb, 8, false, channel_local);
     let channels = ssd.config().geometry.channels;
-    let pages = data.len().div_ceil(ssd.config().geometry.page_bytes as usize) as u64;
+    let pages = data
+        .len()
+        .div_ceil(ssd.config().geometry.page_bytes as usize) as u64;
     if skew > 0.0 {
         ssd.set_placement(Placement::skewed(channels, skew), pages);
     }
@@ -59,21 +62,25 @@ fn run_one(skew: f64, data: &[u8], channel_local: bool) -> (f64, f64) {
     (r.throughput_gbps(), measured)
 }
 
-/// Runs the sweep.
+/// Runs the sweep: every (skew, architecture) pair is an independent
+/// point; rows pair crossbar and channel-local after reassembly.
 pub fn run(scale: &Scale) -> Fig19Report {
     let n = scale.scalability_bytes.next_multiple_of(8);
     let data: Vec<u8> = (0..n).map(|i| (i % 253) as u8).collect();
-    let mut points = Vec::new();
-    for &skew in &SKEWS {
-        let (crossbar_gbps, measured_skew) = run_one(skew, &data, false);
-        let (channel_local_gbps, _) = run_one(skew, &data, true);
-        points.push(SkewPoint {
+    let configs = sweep::grid(&SKEWS, &[false, true]);
+    let measured = sweep::run_points(&configs, |&(skew, channel_local)| {
+        run_one(skew, &data, channel_local)
+    });
+    let points = sweep::rows_of(measured, 2)
+        .into_iter()
+        .zip(&SKEWS)
+        .map(|(row, &skew)| SkewPoint {
             skew,
-            measured_skew,
-            crossbar_gbps,
-            channel_local_gbps,
-        });
-    }
+            measured_skew: row[0].1,
+            crossbar_gbps: row[0].0,
+            channel_local_gbps: row[1].0,
+        })
+        .collect();
     Fig19Report {
         input_bytes: data.len() as u64,
         points,
@@ -104,7 +111,13 @@ impl fmt::Display for Fig19Report {
             f,
             "{}",
             report::table(
-                &["skew", "measured", "crossbar GB/s", "channel-local GB/s", "advantage"],
+                &[
+                    "skew",
+                    "measured",
+                    "crossbar GB/s",
+                    "channel-local GB/s",
+                    "advantage"
+                ],
                 &rows
             )
         )

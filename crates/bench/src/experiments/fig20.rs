@@ -31,11 +31,18 @@ pub struct Point {
 pub fn run() -> Fig20Report {
     let points = fig20_series()
         .into_iter()
-        .map(|TimingPoint { label, access_ns, cycles_at_1ghz, .. }| Point {
-            label,
-            access_ns,
-            cycles: cycles_at_1ghz,
-        })
+        .map(
+            |TimingPoint {
+                 label,
+                 access_ns,
+                 cycles_at_1ghz,
+                 ..
+             }| Point {
+                label,
+                access_ns,
+                cycles: cycles_at_1ghz,
+            },
+        )
         .collect();
     Fig20Report {
         points,
@@ -46,7 +53,10 @@ pub fn run() -> Fig20Report {
 
 impl fmt::Display for Fig20Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 20: memory-structure access timing (SAED14-calibrated model)")?;
+        writeln!(
+            f,
+            "Figure 20: memory-structure access timing (SAED14-calibrated model)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -79,9 +89,17 @@ mod tests {
     fn report_carries_the_paper_anchors() {
         let r = run();
         assert_eq!(r.sb_period_ps, 890);
-        let sb64 = r.points.iter().find(|p| p.label.contains("SB head (64B)")).unwrap();
+        let sb64 = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("SB head (64B)"))
+            .unwrap();
         assert!(sb64.access_ns <= 0.55);
-        let sp = r.points.iter().find(|p| p.label.contains("SP 64KB (8B)")).unwrap();
+        let sp = r
+            .points
+            .iter()
+            .find(|p| p.label.contains("SP 64KB (8B)"))
+            .unwrap();
         assert_eq!(sp.cycles, 2);
     }
 }

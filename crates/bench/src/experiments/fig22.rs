@@ -70,7 +70,10 @@ impl Fig22Report {
 
 impl fmt::Display for Fig22Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 22: efficiency relative to Baseline (adjusted speedups)")?;
+        writeln!(
+            f,
+            "Figure 22: efficiency relative to Baseline (adjusted speedups)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .entries
             .iter()
@@ -93,7 +96,10 @@ impl fmt::Display for Fig22Report {
                 &rows
             )
         )?;
-        writeln!(f, "paper: AssasinSb ~2.0x power and ~3.2x area efficiency, above UDP")
+        writeln!(
+            f,
+            "paper: AssasinSb ~2.0x power and ~3.2x area efficiency, above UDP"
+        )
     }
 }
 
@@ -117,7 +123,11 @@ mod tests {
         let f21 = fig21::run(&scale);
         let r = run(&f21);
         let sb = r.entry("AssasinSb").unwrap();
-        assert!(sb.power_efficiency > 1.3, "power eff {}", sb.power_efficiency);
+        assert!(
+            sb.power_efficiency > 1.3,
+            "power eff {}",
+            sb.power_efficiency
+        );
         assert!(sb.area_efficiency > 2.0, "area eff {}", sb.area_efficiency);
         let udp = r.entry("UDP").unwrap();
         assert!(

@@ -8,12 +8,17 @@
 use crate::bundles;
 use crate::report;
 use crate::runner::{offload, ssd_with};
+use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
 use assasin_kernels::{compress, dedup, nn};
 use assasin_ssd::KernelBundle;
 use serde::Serialize;
 use std::fmt;
+
+/// Builds a case's bundle inside its sweep point (bundles are consumed by
+/// `offload`, so points carry constructors rather than bundles).
+type BundleFactory = Box<dyn Fn() -> KernelBundle + Send + Sync>;
 
 /// One function-class row.
 #[derive(Debug, Clone, Serialize)]
@@ -75,41 +80,42 @@ fn compressible(n: usize) -> Vec<u8> {
     v
 }
 
-/// Runs every kernel on the AssasinSb SSD.
+/// Runs every kernel on the AssasinSb SSD — one sweep point per kernel,
+/// each over its own device.
 pub fn run(scale: &Scale) -> Table02Report {
     let n = scale.standalone_bytes.min(2 << 20);
     let model = nn::Model::demo(0xA55A);
     let packed = compress::compress(&compressible(n));
     let expansion = n as f64 / packed.len() as f64 + 1.0;
-    let cases: Vec<(&str, &str, KernelBundle, Vec<Vec<u8>>)> = vec![
+    let cases: Vec<(&str, &str, BundleFactory, Vec<Vec<u8>>)> = vec![
         (
             "stat",
             "Statistics (accumulators)",
-            bundles::stat_bundle(),
+            Box::new(bundles::stat_bundle),
             vec![pattern(n, 1)],
         ),
         (
             "raid4",
             "Erasure coding (GF table)",
-            bundles::raid4_bundle(),
+            Box::new(bundles::raid4_bundle),
             (0..4).map(|s| pattern(n / 4, s)).collect(),
         ),
         (
             "raid6",
             "Erasure coding (GF table)",
-            bundles::raid6_bundle(),
+            Box::new(bundles::raid6_bundle),
             (0..4).map(|s| pattern(n / 8, 10 + s)).collect(),
         ),
         (
             "aes128",
             "Cryptography (keys)",
-            bundles::aes_bundle(),
+            Box::new(bundles::aes_bundle),
             vec![pattern(scale.aes_bytes.min(256 << 10), 20)],
         ),
         (
             "psf",
             "Parse+Select+Filter (state machine)",
-            bundles::psf_bundle(crate::experiments::fig14::psf_params()),
+            Box::new(|| bundles::psf_bundle(crate::experiments::fig14::psf_params())),
             vec![{
                 let gen = assasin_workloads::TpchGen::new(scale.sf, scale.seed);
                 gen.table(assasin_workloads::TableId::Lineitem).to_csv()
@@ -118,59 +124,54 @@ pub fn run(scale: &Scale) -> Table02Report {
         (
             "dedup",
             "Deduplicate (block metadata)",
-            bundles::dedup_bundle(),
+            Box::new(bundles::dedup_bundle),
             vec![dedupable(n)],
         ),
         (
             "decompress",
             "Decompress (dictionary)",
-            bundles::decompress_bundle(expansion),
+            Box::new(move || bundles::decompress_bundle(expansion)),
             vec![packed],
         ),
         (
             "replicate",
             "Replicate (flags)",
-            bundles::replicate_bundle(),
+            Box::new(bundles::replicate_bundle),
             vec![pattern(n / 2, 30)],
         ),
         (
             "nn-infer",
             "NN Inference (model parameters)",
-            bundles::nn_bundle(&model),
+            Box::new(move || bundles::nn_bundle(&model)),
             vec![pattern(n.min(512 << 10), 40)],
         ),
         (
             "nn-train",
             "NN Training (model parameters)",
-            bundles::nn_train_bundle(),
+            Box::new(bundles::nn_train_bundle),
             vec![pattern(n.min(512 << 10) / 36 * 36, 50)],
         ),
         (
             "graph",
             "Graph Analysis (vertex statistics)",
-            bundles::graph_bundle(),
+            Box::new(bundles::graph_bundle),
             vec![pattern(n, 60)],
         ),
     ];
-    let mut rows = Vec::new();
-    for (name, class, bundle, streams) in cases {
-        let state_bytes: usize = bundle
-            .scratchpad_image()
-            .iter()
-            .map(|(_, b)| b.len())
-            .sum();
+    let rows = sweep::run_points(&cases, |(name, class, factory, streams)| {
+        let bundle = factory();
+        let state_bytes: usize = bundle.scratchpad_image().iter().map(|(_, b)| b.len()).sum();
         let mut ssd = ssd_with(EngineKind::AssasinSb, 8, false, false);
-        let r = offload(&mut ssd, bundle, &streams)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        rows.push(FunctionRow {
+        let r = offload(&mut ssd, bundle, streams).unwrap_or_else(|e| panic!("{name}: {e}"));
+        FunctionRow {
             name: name.to_string(),
             class: class.to_string(),
             state_bytes,
             gbps: r.throughput_gbps(),
             dram_per_byte: r.dram_traffic as f64 / (r.bytes_in + r.bytes_out).max(1) as f64,
             out_per_in: r.bytes_out as f64 / r.bytes_in.max(1) as f64,
-        });
-    }
+        }
+    });
     Table02Report { rows }
 }
 
@@ -198,7 +199,14 @@ impl fmt::Display for Table02Report {
             f,
             "{}",
             report::table(
-                &["kernel", "Table II class", "state B", "GB/s", "DRAM B/moved", "out/in"],
+                &[
+                    "kernel",
+                    "Table II class",
+                    "state B",
+                    "GB/s",
+                    "DRAM B/moved",
+                    "out/in"
+                ],
                 &rows
             )
         )
@@ -217,7 +225,12 @@ mod tests {
             assert!(row.gbps > 0.01, "{}: {}", row.name, row.gbps);
             // The defining ASSASIN property, for every function class:
             // input data never crosses SSD DRAM.
-            assert!(row.dram_per_byte < 1.1, "{}: {}", row.name, row.dram_per_byte);
+            assert!(
+                row.dram_per_byte < 1.1,
+                "{}: {}",
+                row.name,
+                row.dram_per_byte
+            );
         }
         // Reduction functions reduce; expansion functions expand.
         let by = |n: &str| r.rows.iter().find(|x| x.name == n).unwrap();

@@ -109,7 +109,10 @@ impl fmt::Display for Table04Report {
         write!(
             f,
             "{}",
-            report::table(&["engine", "data source", "#", "freq", "memory architecture"], &rows)
+            report::table(
+                &["engine", "data source", "#", "freq", "memory architecture"],
+                &rows
+            )
         )
     }
 }

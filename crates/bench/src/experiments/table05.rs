@@ -52,7 +52,10 @@ pub fn run() -> Table05Report {
 
 impl fmt::Display for Table05Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table V: power and area of engine subcomponents (14nm model)")?;
+        writeln!(
+            f,
+            "Table V: power and area of engine subcomponents (14nm model)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()

@@ -27,5 +27,6 @@ pub mod provider;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod sweep;
 
 pub use scale::Scale;

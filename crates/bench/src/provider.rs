@@ -189,9 +189,15 @@ mod tests {
         let project = vec![0u32, 5, 10];
         let a = host.scan(TableId::Lineitem, &preds, &project);
         let b = offl.scan(TableId::Lineitem, &preds, &project);
-        assert_eq!(a.relation, b.relation, "offload must be semantically transparent");
+        assert_eq!(
+            a.relation, b.relation,
+            "offload must be semantically transparent"
+        );
         assert!(b.device_time > SimDur::ZERO);
-        assert!(b.bytes_from_storage < a.bytes_from_storage, "early reduction");
+        assert!(
+            b.bytes_from_storage < a.bytes_from_storage,
+            "early reduction"
+        );
     }
 
     #[test]
@@ -212,7 +218,9 @@ mod tests {
             host.add_table(g.table(id));
         }
         let run = |p: &mut dyn ScanProvider| {
-            Executor::new(p, HostCpuModel::default()).run(&plan).relation
+            Executor::new(p, HostCpuModel::default())
+                .run(&plan)
+                .relation
         };
         let r_host = run(&mut host);
         let mut cpu = CpuOnlyProvider::new(&g);

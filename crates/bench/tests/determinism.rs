@@ -1,0 +1,21 @@
+//! The sweep executor's central guarantee: serial and parallel runs of
+//! the same experiment serialize to byte-identical JSON. Every sweep
+//! point builds its own simulator from a fixed seed and results are
+//! reassembled in input order, so thread count must not leak into any
+//! report.
+
+use assasin_bench::experiments::fig13;
+use assasin_bench::Scale;
+
+#[test]
+fn fig13_serial_and_parallel_reports_are_byte_identical() {
+    let scale = Scale::test_scale();
+    let serial = assasin_parallel::with_max_threads(1, || fig13::run_with(&scale, false));
+    let parallel = fig13::run_with(&scale, false);
+    let serial_json = serde_json::to_string(&serial).expect("serialize serial report");
+    let parallel_json = serde_json::to_string(&parallel).expect("serialize parallel report");
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep must reproduce the serial report byte-for-byte"
+    );
+}

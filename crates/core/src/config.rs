@@ -137,7 +137,7 @@ impl CoreConfig {
     /// Table IV `AssasinSb$`: AssasinSb plus a 32 KiB 8-way L1D backed by
     /// DRAM.
     pub fn assasin_sb_cache() -> CoreConfig {
-                CoreConfig {
+        CoreConfig {
             hierarchy: Some(assasin_mem::HierarchyConfig {
                 l2: None,
                 ..assasin_mem::HierarchyConfig::baseline()

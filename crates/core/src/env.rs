@@ -194,7 +194,10 @@ mod tests {
             }
         }
         env.refill_stream(0, 0, SimTime::ZERO, &mut sb);
-        assert_eq!(sb.read(0, 1, SimTime::ZERO).unwrap(), ReadOutcome::Exhausted);
+        assert_eq!(
+            sb.read(0, 1, SimTime::ZERO).unwrap(),
+            ReadOutcome::Exhausted
+        );
     }
 
     #[test]

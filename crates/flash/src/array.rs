@@ -77,6 +77,16 @@ impl FlashArray {
         }
     }
 
+    /// Returns a page's data without touching timelines or stats — the
+    /// firmware's control-plane view for task decomposition. `None` for
+    /// out-of-range or unwritten pages.
+    pub fn peek_page(&self, addr: PhysPageAddr) -> Option<Bytes> {
+        if !self.geom.contains(addr) {
+            return None;
+        }
+        self.channels[addr.channel as usize].chips[addr.chip as usize].peek(&self.geom, addr)
+    }
+
     /// Reads a page: returns its data and the time the last byte crosses
     /// the channel bus (when a consumer — DRAM stager, streambuffer — has
     /// the full page).
@@ -116,7 +126,8 @@ impl FlashArray {
         data: Bytes,
         ready: SimTime,
     ) -> Result<SimTime, FlashError> {
-        self.write_page_detailed(addr, data, ready).map(|(_, prog)| prog)
+        self.write_page_detailed(addr, data, ready)
+            .map(|(_, prog)| prog)
     }
 
     /// Like [`FlashArray::write_page`], but exposes both the bus-transfer
@@ -139,8 +150,13 @@ impl FlashArray {
         let page_bytes = self.geom.page_bytes;
         let channel = &mut self.channels[addr.channel as usize];
         let bus_grant = channel.bus.acquire(ready, xfer);
-        let done =
-            channel.chips[addr.chip as usize].program(&self.geom, addr, data, bus_grant.end, t_prog)?;
+        let done = channel.chips[addr.chip as usize].program(
+            &self.geom,
+            addr,
+            data,
+            bus_grant.end,
+            t_prog,
+        )?;
         channel.stats.bytes_written += page_bytes as u64;
         channel.stats.page_programs += 1;
         Ok((bus_grant.end, done))

@@ -39,6 +39,13 @@ impl FlashChip {
             + addr.page as u64
     }
 
+    /// Returns a page's data without modeling any timing or stats — the
+    /// firmware's control-plane view (used e.g. to locate record
+    /// boundaries for task decomposition).
+    pub fn peek(&self, geom: &FlashGeometry, addr: PhysPageAddr) -> Option<Bytes> {
+        self.pages.get(&Self::page_key(geom, addr)).cloned()
+    }
+
     /// Senses a page into the page register. Returns the page data and the
     /// time the register is loaded (before any bus transfer).
     pub fn sense(
@@ -161,7 +168,9 @@ mod tests {
         let t = FlashTimingFixture::default();
         chip.program(&geom, addr(0, 0), page(&geom, 0xAB), SimTime::ZERO, t.prog)
             .unwrap();
-        let (data, done) = chip.sense(&geom, addr(0, 0), SimTime::ZERO, t.read).unwrap();
+        let (data, done) = chip
+            .sense(&geom, addr(0, 0), SimTime::ZERO, t.read)
+            .unwrap();
         assert_eq!(data, page(&geom, 0xAB));
         // Sense queues behind the in-flight program on the same chip.
         assert_eq!(done, SimTime::ZERO + t.prog + t.read);
@@ -191,7 +200,9 @@ mod tests {
         chip.erase_block(&geom, 0, 1, SimTime::ZERO, t.erase);
         chip.program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
             .unwrap();
-        let (data, _) = chip.sense(&geom, addr(1, 0), SimTime::ZERO, t.read).unwrap();
+        let (data, _) = chip
+            .sense(&geom, addr(1, 0), SimTime::ZERO, t.read)
+            .unwrap();
         assert_eq!(data, page(&geom, 2));
     }
 

@@ -114,8 +114,7 @@ impl Ftl {
 
     /// Creates an FTL with an explicit placement policy.
     pub fn with_placement(geom: FlashGeometry, placement: Placement) -> Self {
-        let n_planes =
-            (geom.channels * geom.chips_per_channel * geom.planes_per_chip) as usize;
+        let n_planes = (geom.channels * geom.chips_per_channel * geom.planes_per_chip) as usize;
         let n_chips = (geom.channels * geom.chips_per_channel) as usize;
         Ftl {
             geom,
@@ -130,8 +129,7 @@ impl Ftl {
             stats: FtlStats::default(),
             // Exported capacity excludes the per-plane GC-reserve block and
             // keeps 12.5% over-provisioning on the rest.
-            exported_pages: (geom.total_pages()
-                - n_planes as u64 * geom.pages_per_block as u64)
+            exported_pages: (geom.total_pages() - n_planes as u64 * geom.pages_per_block as u64)
                 * 7
                 / 8,
         }
@@ -253,9 +251,9 @@ impl Ftl {
 
     /// Picks the next plane for a new write according to placement/striping.
     fn next_location(&mut self) -> (u32, u32, u32) {
-        let channel = self
-            .placement
-            .channel_for(self.stream_pos, self.stream_total, self.geom.channels);
+        let channel =
+            self.placement
+                .channel_for(self.stream_pos, self.stream_total, self.geom.channels);
         self.stream_pos += 1;
         let chip = self.chip_cursor[channel as usize];
         self.chip_cursor[channel as usize] = (chip + 1) % self.geom.chips_per_channel;

@@ -590,7 +590,17 @@ mod tests {
 
     #[test]
     fn li_expands_large_constants() {
-        for &v in &[0i64, 1, -1, 2047, -2048, 2048, 0x1234_5678, -0x7654_3210, u32::MAX as i64] {
+        for &v in &[
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234_5678,
+            -0x7654_3210,
+            u32::MAX as i64,
+        ] {
             let mut asm = Assembler::new();
             asm.li(Reg::A0, v);
             let p = asm.finish().unwrap();

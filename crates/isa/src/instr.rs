@@ -48,7 +48,13 @@ impl AluOp {
     pub fn is_muldiv(self) -> bool {
         matches!(
             self,
-            AluOp::Mul | AluOp::Mulh | AluOp::Mulhu | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
         )
     }
 }
@@ -358,7 +364,14 @@ mod tests {
     #[test]
     fn csr_numbers_do_not_collide() {
         let mut all: Vec<u16> = (0..8)
-            .flat_map(|s| [csr::in_head(s), csr::in_tail(s), csr::out_head(s), csr::out_tail(s)])
+            .flat_map(|s| {
+                [
+                    csr::in_head(s),
+                    csr::in_tail(s),
+                    csr::out_head(s),
+                    csr::out_tail(s),
+                ]
+            })
             .collect();
         all.push(csr::CYCLE);
         let n = all.len();

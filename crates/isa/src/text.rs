@@ -51,9 +51,9 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, TextError> {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     if let Some(i) = NAMES.iter().position(|&n| n == tok) {
         return Ok(Reg::new(i as u8));
@@ -185,7 +185,10 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, TextError> {
             if nops == n {
                 Ok(())
             } else {
-                err(line_no, format!("`{mnemonic}` wants {n} operands, got {nops}"))
+                err(
+                    line_no,
+                    format!("`{mnemonic}` wants {n} operands, got {nops}"),
+                )
             }
         };
 
@@ -246,32 +249,110 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, TextError> {
         };
 
         let item = match mnemonic {
-            "add" => { want(3)?; alu3(AluOp::Add, &ops)? }
-            "sub" => { want(3)?; alu3(AluOp::Sub, &ops)? }
-            "sll" => { want(3)?; alu3(AluOp::Sll, &ops)? }
-            "slt" => { want(3)?; alu3(AluOp::Slt, &ops)? }
-            "sltu" => { want(3)?; alu3(AluOp::Sltu, &ops)? }
-            "xor" => { want(3)?; alu3(AluOp::Xor, &ops)? }
-            "srl" => { want(3)?; alu3(AluOp::Srl, &ops)? }
-            "sra" => { want(3)?; alu3(AluOp::Sra, &ops)? }
-            "or" => { want(3)?; alu3(AluOp::Or, &ops)? }
-            "and" => { want(3)?; alu3(AluOp::And, &ops)? }
-            "mul" => { want(3)?; alu3(AluOp::Mul, &ops)? }
-            "mulh" => { want(3)?; alu3(AluOp::Mulh, &ops)? }
-            "mulhu" => { want(3)?; alu3(AluOp::Mulhu, &ops)? }
-            "div" => { want(3)?; alu3(AluOp::Div, &ops)? }
-            "divu" => { want(3)?; alu3(AluOp::Divu, &ops)? }
-            "rem" => { want(3)?; alu3(AluOp::Rem, &ops)? }
-            "remu" => { want(3)?; alu3(AluOp::Remu, &ops)? }
-            "addi" => { want(3)?; alui(AluOp::Add, &ops)? }
-            "slti" => { want(3)?; alui(AluOp::Slt, &ops)? }
-            "sltui" | "sltiu" => { want(3)?; alui(AluOp::Sltu, &ops)? }
-            "xori" => { want(3)?; alui(AluOp::Xor, &ops)? }
-            "ori" => { want(3)?; alui(AluOp::Or, &ops)? }
-            "andi" => { want(3)?; alui(AluOp::And, &ops)? }
-            "slli" => { want(3)?; alui(AluOp::Sll, &ops)? }
-            "srli" => { want(3)?; alui(AluOp::Srl, &ops)? }
-            "srai" => { want(3)?; alui(AluOp::Sra, &ops)? }
+            "add" => {
+                want(3)?;
+                alu3(AluOp::Add, &ops)?
+            }
+            "sub" => {
+                want(3)?;
+                alu3(AluOp::Sub, &ops)?
+            }
+            "sll" => {
+                want(3)?;
+                alu3(AluOp::Sll, &ops)?
+            }
+            "slt" => {
+                want(3)?;
+                alu3(AluOp::Slt, &ops)?
+            }
+            "sltu" => {
+                want(3)?;
+                alu3(AluOp::Sltu, &ops)?
+            }
+            "xor" => {
+                want(3)?;
+                alu3(AluOp::Xor, &ops)?
+            }
+            "srl" => {
+                want(3)?;
+                alu3(AluOp::Srl, &ops)?
+            }
+            "sra" => {
+                want(3)?;
+                alu3(AluOp::Sra, &ops)?
+            }
+            "or" => {
+                want(3)?;
+                alu3(AluOp::Or, &ops)?
+            }
+            "and" => {
+                want(3)?;
+                alu3(AluOp::And, &ops)?
+            }
+            "mul" => {
+                want(3)?;
+                alu3(AluOp::Mul, &ops)?
+            }
+            "mulh" => {
+                want(3)?;
+                alu3(AluOp::Mulh, &ops)?
+            }
+            "mulhu" => {
+                want(3)?;
+                alu3(AluOp::Mulhu, &ops)?
+            }
+            "div" => {
+                want(3)?;
+                alu3(AluOp::Div, &ops)?
+            }
+            "divu" => {
+                want(3)?;
+                alu3(AluOp::Divu, &ops)?
+            }
+            "rem" => {
+                want(3)?;
+                alu3(AluOp::Rem, &ops)?
+            }
+            "remu" => {
+                want(3)?;
+                alu3(AluOp::Remu, &ops)?
+            }
+            "addi" => {
+                want(3)?;
+                alui(AluOp::Add, &ops)?
+            }
+            "slti" => {
+                want(3)?;
+                alui(AluOp::Slt, &ops)?
+            }
+            "sltui" | "sltiu" => {
+                want(3)?;
+                alui(AluOp::Sltu, &ops)?
+            }
+            "xori" => {
+                want(3)?;
+                alui(AluOp::Xor, &ops)?
+            }
+            "ori" => {
+                want(3)?;
+                alui(AluOp::Or, &ops)?
+            }
+            "andi" => {
+                want(3)?;
+                alui(AluOp::And, &ops)?
+            }
+            "slli" => {
+                want(3)?;
+                alui(AluOp::Sll, &ops)?
+            }
+            "srli" => {
+                want(3)?;
+                alui(AluOp::Srl, &ops)?
+            }
+            "srai" => {
+                want(3)?;
+                alui(AluOp::Sra, &ops)?
+            }
             "lui" => {
                 want(2)?;
                 Parsed::Ready(Instr::Lui {
@@ -325,20 +406,62 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, TextError> {
                     imm: 0,
                 })
             }
-            "lb" => { want(2)?; load(1, true, &ops)? }
-            "lbu" => { want(2)?; load(1, false, &ops)? }
-            "lh" => { want(2)?; load(2, true, &ops)? }
-            "lhu" => { want(2)?; load(2, false, &ops)? }
-            "lw" => { want(2)?; load(4, true, &ops)? }
-            "sb" => { want(2)?; store(1, &ops)? }
-            "sh" => { want(2)?; store(2, &ops)? }
-            "sw" => { want(2)?; store(4, &ops)? }
-            "beq" => { want(3)?; branch(BranchCond::Eq, &ops)? }
-            "bne" => { want(3)?; branch(BranchCond::Ne, &ops)? }
-            "blt" => { want(3)?; branch(BranchCond::Lt, &ops)? }
-            "bge" => { want(3)?; branch(BranchCond::Ge, &ops)? }
-            "bltu" => { want(3)?; branch(BranchCond::Ltu, &ops)? }
-            "bgeu" => { want(3)?; branch(BranchCond::Geu, &ops)? }
+            "lb" => {
+                want(2)?;
+                load(1, true, &ops)?
+            }
+            "lbu" => {
+                want(2)?;
+                load(1, false, &ops)?
+            }
+            "lh" => {
+                want(2)?;
+                load(2, true, &ops)?
+            }
+            "lhu" => {
+                want(2)?;
+                load(2, false, &ops)?
+            }
+            "lw" => {
+                want(2)?;
+                load(4, true, &ops)?
+            }
+            "sb" => {
+                want(2)?;
+                store(1, &ops)?
+            }
+            "sh" => {
+                want(2)?;
+                store(2, &ops)?
+            }
+            "sw" => {
+                want(2)?;
+                store(4, &ops)?
+            }
+            "beq" => {
+                want(3)?;
+                branch(BranchCond::Eq, &ops)?
+            }
+            "bne" => {
+                want(3)?;
+                branch(BranchCond::Ne, &ops)?
+            }
+            "blt" => {
+                want(3)?;
+                branch(BranchCond::Lt, &ops)?
+            }
+            "bge" => {
+                want(3)?;
+                branch(BranchCond::Ge, &ops)?
+            }
+            "bltu" => {
+                want(3)?;
+                branch(BranchCond::Ltu, &ops)?
+            }
+            "bgeu" => {
+                want(3)?;
+                branch(BranchCond::Geu, &ops)?
+            }
             "jal" => {
                 want(2)?;
                 let rd = parse_reg(ops[0], line_no)?;
@@ -372,7 +495,10 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, TextError> {
                     offset: offset as i32,
                 })
             }
-            "halt" => { want(0)?; Parsed::Ready(Instr::Halt) }
+            "halt" => {
+                want(0)?;
+                Parsed::Ready(Instr::Halt)
+            }
             "stream.load" => {
                 want(3)?;
                 Parsed::Ready(Instr::StreamLoad {

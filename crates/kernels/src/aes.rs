@@ -91,12 +91,7 @@ pub fn te_table(t: u32) -> [u32; 256] {
 }
 
 /// The MixColumns matrix.
-const MIX: [[u8; 4]; 4] = [
-    [2, 3, 1, 1],
-    [1, 2, 3, 1],
-    [1, 1, 2, 3],
-    [3, 1, 1, 2],
-];
+const MIX: [[u8; 4]; 4] = [[2, 3, 1, 1], [1, 2, 3, 1], [1, 1, 2, 3], [3, 1, 1, 2]];
 
 /// Expands a 16-byte key into 44 round-key words (LE column encoding).
 pub fn key_schedule(key: &[u8; 16]) -> [u32; 44] {
@@ -109,7 +104,12 @@ pub fn key_schedule(key: &[u8; 16]) -> [u32; 44] {
     for i in 4..44 {
         let mut temp = w[i - 1];
         if i % 4 == 0 {
-            temp = [s[temp[1] as usize], s[temp[2] as usize], s[temp[3] as usize], s[temp[0] as usize]];
+            temp = [
+                s[temp[1] as usize],
+                s[temp[2] as usize],
+                s[temp[3] as usize],
+                s[temp[0] as usize],
+            ];
             temp[0] ^= rcon;
             rcon = xtime(rcon);
         }
@@ -128,7 +128,10 @@ pub fn key_schedule(key: &[u8; 16]) -> [u32; 44] {
 /// the firmware writes before starting the kernel.
 pub fn scratchpad_image(key: &[u8; 16]) -> Vec<(u32, Vec<u8>)> {
     let mut image = Vec::new();
-    let keys: Vec<u8> = key_schedule(key).iter().flat_map(|w| w.to_le_bytes()).collect();
+    let keys: Vec<u8> = key_schedule(key)
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
     image.push((KEY_BASE, keys));
     image.push((SBOX_BASE, sbox().to_vec()));
     for t in 0..4 {
@@ -250,7 +253,11 @@ pub fn program(style: AccessStyle) -> Program {
                     asm.xor(col, col, Reg::T5);
                 }
             }
-            asm.lw(Reg::T4, Reg::ZERO, (KEY_BASE + 16 * round + 4 * j as u32) as i64);
+            asm.lw(
+                Reg::T4,
+                Reg::ZERO,
+                (KEY_BASE + 16 * round + 4 * j as u32) as i64,
+            );
             asm.xor(col, col, Reg::T4);
         }
         for (&st, &col) in state.iter().zip(cols.iter()) {
@@ -344,7 +351,9 @@ mod tests {
                 let mut env = SyntheticEnv::new(8, testutil::PAGE);
                 let mut core = Core::new(0, cfg, program(style), None);
                 for (off, bytes) in scratchpad_image(&FIPS_KEY) {
-                    core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+                    core.scratchpad_mut()
+                        .write_bytes(off as u64, &bytes)
+                        .unwrap();
                 }
                 if style == AccessStyle::Stream {
                     env.set_input(0, data);
@@ -352,7 +361,12 @@ mod tests {
                     env.set_banks(data, testutil::BANK);
                 }
                 core.run_to_halt(&mut env);
-                assert_eq!(core.state(), &assasin_core::CoreState::Halted, "{:?}", core.state());
+                assert_eq!(
+                    core.state(),
+                    &assasin_core::CoreState::Halted,
+                    "{:?}",
+                    core.state()
+                );
                 let out = if style == AccessStyle::Stream {
                     if let Some(tail) = core.sbuf_mut().flush(0).unwrap() {
                         env.drain_page(0, 0, tail, assasin_sim::SimTime::ZERO);
@@ -375,7 +389,9 @@ mod tests {
                 let dram = Dram::lpddr5_8gbps().into_shared();
                 let mut core = Core::new(0, cfg, program(style), Some(dram));
                 for (off, bytes) in scratchpad_image(&FIPS_KEY) {
-                    core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+                    core.scratchpad_mut()
+                        .write_bytes(off as u64, &bytes)
+                        .unwrap();
                 }
                 core.set_window(window);
                 core.set_reg(Reg::A0, len as u32);
@@ -408,7 +424,10 @@ mod tests {
         let data = vec![0u8; 1024];
         let (core, _) = run_aes(AccessStyle::Stream, &data);
         let cpb = core.cycles() as f64 / data.len() as f64;
-        assert!(cpb > 20.0, "AES should be strongly compute-bound, got {cpb:.1} c/B");
+        assert!(
+            cpb > 20.0,
+            "AES should be strongly compute-bound, got {cpb:.1} c/B"
+        );
         // Stalls are negligible: the memory wall does not apply.
         let b = core.breakdown();
         assert!(b.busy > 10 * (b.stall_stream + b.stall_swap));

@@ -109,14 +109,13 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     let mut literals: Vec<u8> = Vec::new();
-    let flush =
-        |literals: &mut Vec<u8>, out: &mut Vec<u8>| {
-            for chunk in literals.chunks(128) {
-                out.push((chunk.len() - 1) as u8);
-                out.extend_from_slice(chunk);
-            }
-            literals.clear();
-        };
+    let flush = |literals: &mut Vec<u8>, out: &mut Vec<u8>| {
+        for chunk in literals.chunks(128) {
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+        literals.clear();
+    };
     while pos < data.len() {
         // Longest match search within the window, brute force (reference
         // code, run on the host — clarity over speed).
@@ -125,8 +124,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         let mut best_dist = 0usize;
         for cand in start..pos {
             let mut len = 0;
-            while len < MAX_MATCH && pos + len < data.len() && data[cand + len] == data[pos + len]
-            {
+            while len < MAX_MATCH && pos + len < data.len() && data[cand + len] == data[pos + len] {
                 len += 1;
             }
             if len >= best_len {

@@ -128,7 +128,12 @@ mod tests {
         let (out_deg, in_deg) = golden(&data);
         assert_eq!(out_deg[5], 1);
         assert_eq!(in_deg[(u32::MAX & (MAX_VERTICES - 1)) as usize], 1);
-        let (core, _) = run_kernel(AccessStyle::Stream, program(AccessStyle::Stream), &[&data], 8);
+        let (core, _) = run_kernel(
+            AccessStyle::Stream,
+            program(AccessStyle::Stream),
+            &[&data],
+            8,
+        );
         let (out_got, in_got) = degrees_from(&core);
         assert_eq!(out_got, out_deg);
         assert_eq!(in_got, in_deg);

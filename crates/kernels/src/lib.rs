@@ -42,8 +42,8 @@ pub mod graph;
 pub mod nn;
 pub mod nn_train;
 pub mod query;
-pub mod replicate;
 pub mod raid;
+pub mod replicate;
 pub mod scan;
 pub mod stat;
 mod style;

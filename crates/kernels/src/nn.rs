@@ -196,7 +196,9 @@ mod tests {
 
     fn preload(core: &mut Core, model: &Model) {
         for (off, bytes) in model.scratchpad_image() {
-            core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+            core.scratchpad_mut()
+                .write_bytes(off as u64, &bytes)
+                .unwrap();
         }
     }
 

@@ -173,7 +173,9 @@ mod tests {
                 x[1] = (((i * 3) % 7) as i32 - 3) * 2;
                 let y = 3 * x[0] - 2 * x[1] + 2;
                 x.push(y);
-                x.into_iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>()
+                x.into_iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect::<Vec<u8>>()
             })
             .collect()
     }
@@ -186,7 +188,9 @@ mod tests {
                 env.set_input(0, data);
                 let mut core = Core::new(0, CoreConfig::assasin_sb(), program(style), None);
                 for (off, bytes) in model.scratchpad_image() {
-                    core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+                    core.scratchpad_mut()
+                        .write_bytes(off as u64, &bytes)
+                        .unwrap();
                 }
                 core.run_to_halt(&mut env);
                 assert_eq!(core.state(), &CoreState::Halted);
@@ -201,7 +205,9 @@ mod tests {
                 env.set_banks(data, (1024 / TUPLE_BYTES as usize) * TUPLE_BYTES as usize);
                 let mut core = Core::new(0, CoreConfig::assasin_sp(), program(style), None);
                 for (off, bytes) in model.scratchpad_image() {
-                    core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+                    core.scratchpad_mut()
+                        .write_bytes(off as u64, &bytes)
+                        .unwrap();
                 }
                 core.run_to_halt(&mut env);
                 assert_eq!(core.state(), &CoreState::Halted);
@@ -218,7 +224,9 @@ mod tests {
                 let dram = Dram::lpddr5_8gbps().into_shared();
                 let mut core = Core::new(0, CoreConfig::baseline(), program(style), Some(dram));
                 for (off, bytes) in model.scratchpad_image() {
-                    core.scratchpad_mut().write_bytes(off as u64, &bytes).unwrap();
+                    core.scratchpad_mut()
+                        .write_bytes(off as u64, &bytes)
+                        .unwrap();
                 }
                 core.set_window(window);
                 core.set_reg(Reg::A0, len as u32);

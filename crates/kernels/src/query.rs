@@ -202,7 +202,10 @@ const PSF_FIELDS_BASE: i64 = 0x40;
 pub fn psf_program(style: AccessStyle, p: &PsfParams) -> Program {
     assert!(p.pred_field < p.fields);
     assert!(p.keep.iter().all(|&k| k < p.fields));
-    assert!(PSF_FIELDS_BASE + 4 * p.fields as i64 <= 2048, "field buffer imm-addressable");
+    assert!(
+        PSF_FIELDS_BASE + 4 * p.fields as i64 <= 2048,
+        "field buffer imm-addressable"
+    );
     let io = KernelIo::new(style, 1, 1);
     let mut asm = Assembler::with_name(format!("psf-{style:?}"));
     asm.li(Reg::S10, b'|' as i64);
@@ -236,7 +239,11 @@ pub fn psf_program(style: AccessStyle, p: &PsfParams) -> Program {
     asm.li(Reg::T3, PSF_FIELDS_BASE);
     asm.li(Reg::T0, 0);
     // Filter on the predicate field.
-    asm.lw(Reg::T4, Reg::ZERO, PSF_FIELDS_BASE + 4 * p.pred_field as i64);
+    asm.lw(
+        Reg::T4,
+        Reg::ZERO,
+        PSF_FIELDS_BASE + 4 * p.pred_field as i64,
+    );
     asm.bltu(Reg::T4, Reg::A6, cont);
     asm.bgeu(Reg::T4, Reg::A7, cont);
     // Select: emit kept fields.
@@ -260,8 +267,9 @@ pub fn psf_golden(text: &[u8], p: &PsfParams) -> Vec<u8> {
         let fields: Vec<u32> = line
             .split(|&c| c == b'|')
             .map(|f| {
-                f.iter()
-                    .fold(0u32, |a, &c| a.wrapping_mul(10).wrapping_add((c - b'0') as u32))
+                f.iter().fold(0u32, |a, &c| {
+                    a.wrapping_mul(10).wrapping_add((c - b'0') as u32)
+                })
             })
             .collect();
         if fields.len() != p.fields as usize {
@@ -315,7 +323,12 @@ mod tests {
         assert!(!expect.is_empty(), "test must select something");
         assert!(expect.len() < data.len(), "test must reject something");
         for style in AccessStyle::ALL {
-            let (_, out) = run_kernel(style, filter_program(style, p), &[&data], (p.tuple_words * 4) as usize);
+            let (_, out) = run_kernel(
+                style,
+                filter_program(style, p),
+                &[&data],
+                (p.tuple_words * 4) as usize,
+            );
             assert_eq!(out, expect, "style {style:?}");
         }
     }
@@ -360,7 +373,12 @@ mod tests {
         let data = tuples(256, p.tuple_words);
         let expect = select_golden(&data, &p);
         for style in AccessStyle::ALL {
-            let (_, out) = run_kernel(style, select_program(style, &p), &[&data], (p.tuple_words * 4) as usize);
+            let (_, out) = run_kernel(
+                style,
+                select_program(style, &p),
+                &[&data],
+                (p.tuple_words * 4) as usize,
+            );
             assert_eq!(out, expect, "style {style:?}");
         }
     }
@@ -382,7 +400,12 @@ mod tests {
             .iter()
             .flat_map(|v| v.to_le_bytes())
             .collect();
-        let (_, out) = run_kernel(AccessStyle::Stream, parse_program(AccessStyle::Stream), &[text], 1);
+        let (_, out) = run_kernel(
+            AccessStyle::Stream,
+            parse_program(AccessStyle::Stream),
+            &[text],
+            1,
+        );
         assert_eq!(out, expect);
     }
 
@@ -416,7 +439,12 @@ mod tests {
             keep: vec![0],
         };
         let text = csv(64, p.fields);
-        let (core, _) = run_kernel(AccessStyle::Stream, psf_program(AccessStyle::Stream, &p), &[&text], 1);
+        let (core, _) = run_kernel(
+            AccessStyle::Stream,
+            psf_program(AccessStyle::Stream, &p),
+            &[&text],
+            1,
+        );
         let mix = core.mix();
         let branchy = (mix.branches + mix.jumps) as f64 / mix.total as f64;
         assert!(branchy > 0.25, "PSF branch fraction {branchy:.2}");

@@ -113,7 +113,11 @@ mod tests {
 
     fn streams(len: usize) -> Vec<Vec<u8>> {
         (0..DATA_STREAMS as usize)
-            .map(|s| (0..len).map(|i| ((i * 31 + s * 97 + 7) % 256) as u8).collect())
+            .map(|s| {
+                (0..len)
+                    .map(|i| ((i * 31 + s * 97 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -226,7 +230,8 @@ mod tests {
                     window.stage((i * stride) as u64, input, SimTime::ZERO);
                 }
                 let dram = Dram::lpddr5_8gbps().into_shared();
-                let mut core = Core::new(0, CoreConfig::baseline(), raid6_program(style), Some(dram));
+                let mut core =
+                    Core::new(0, CoreConfig::baseline(), raid6_program(style), Some(dram));
                 preload_raid6(&mut core);
                 core.set_window(window);
                 core.set_reg(Reg::A0, len as u32);
@@ -249,7 +254,12 @@ mod tests {
     fn raid6_is_more_compute_intense_than_raid4() {
         let data = streams(2048);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-        let (c4, _) = run_kernel(AccessStyle::Stream, raid4_program(AccessStyle::Stream), &refs, 4);
+        let (c4, _) = run_kernel(
+            AccessStyle::Stream,
+            raid4_program(AccessStyle::Stream),
+            &refs,
+            4,
+        );
         let (c6, _) = run_raid6(AccessStyle::Stream, &refs);
         assert!(
             c6.cycles() > 2 * c4.cycles(),

@@ -99,7 +99,12 @@ mod tests {
     #[test]
     fn stream_style_is_near_one_byte_per_cycle() {
         let input = data(64 * 1024);
-        let (core, _) = run_kernel(AccessStyle::Stream, program(AccessStyle::Stream), &[&input], TUPLE_BYTES as usize);
+        let (core, _) = run_kernel(
+            AccessStyle::Stream,
+            program(AccessStyle::Stream),
+            &[&input],
+            TUPLE_BYTES as usize,
+        );
         let cpb = core.cycles() as f64 / input.len() as f64;
         assert!(
             (0.7..=1.2).contains(&cpb),
@@ -116,18 +121,40 @@ mod tests {
                 run_kernel(style, heavy_program(style), &[&input], TUPLE_BYTES as usize);
             assert_eq!(core.reg(Reg::T2), expect, "style {style:?}");
         }
-        let (light, _) = run_kernel(AccessStyle::Stream, program(AccessStyle::Stream), &[&input], 8);
-        let (heavy, _) =
-            run_kernel(AccessStyle::Stream, heavy_program(AccessStyle::Stream), &[&input], 8);
-        assert!(heavy.cycles() > 15 * input.len() as u64 / 8, "heavy is ~2 c/B");
+        let (light, _) = run_kernel(
+            AccessStyle::Stream,
+            program(AccessStyle::Stream),
+            &[&input],
+            8,
+        );
+        let (heavy, _) = run_kernel(
+            AccessStyle::Stream,
+            heavy_program(AccessStyle::Stream),
+            &[&input],
+            8,
+        );
+        assert!(
+            heavy.cycles() > 15 * input.len() as u64 / 8,
+            "heavy is ~2 c/B"
+        );
         assert!(heavy.cycles() > light.cycles());
     }
 
     #[test]
     fn stream_isa_beats_pointer_walks() {
         let input = data(16 * 1024);
-        let (sb, _) = run_kernel(AccessStyle::Stream, program(AccessStyle::Stream), &[&input], TUPLE_BYTES as usize);
-        let (pp, _) = run_kernel(AccessStyle::PingPong, program(AccessStyle::PingPong), &[&input], TUPLE_BYTES as usize);
+        let (sb, _) = run_kernel(
+            AccessStyle::Stream,
+            program(AccessStyle::Stream),
+            &[&input],
+            TUPLE_BYTES as usize,
+        );
+        let (pp, _) = run_kernel(
+            AccessStyle::PingPong,
+            program(AccessStyle::PingPong),
+            &[&input],
+            TUPLE_BYTES as usize,
+        );
         assert!(
             sb.cycles() < pp.cycles(),
             "stream ISA eliminates pointer management: {} vs {}",

@@ -64,7 +64,12 @@ mod tests {
         // that is why DRAM (8 GB/s shared by 8 cores x 2 trips) becomes the
         // bottleneck on the Baseline architecture (Section VI-B).
         let input = column(32 * 1024);
-        let (core, _) = run_kernel(AccessStyle::Stream, program(AccessStyle::Stream), &[&input], TUPLE_BYTES as usize);
+        let (core, _) = run_kernel(
+            AccessStyle::Stream,
+            program(AccessStyle::Stream),
+            &[&input],
+            TUPLE_BYTES as usize,
+        );
         let cpb = core.cycles() as f64 / input.len() as f64;
         assert!(cpb < 1.0, "stat must beat 1 cycle/byte, got {cpb:.3}");
     }

@@ -34,7 +34,8 @@ pub enum AccessStyle {
 
 impl AccessStyle {
     /// All three styles.
-    pub const ALL: [AccessStyle; 3] = [AccessStyle::Stream, AccessStyle::PingPong, AccessStyle::Mem];
+    pub const ALL: [AccessStyle; 3] =
+        [AccessStyle::Stream, AccessStyle::PingPong, AccessStyle::Mem];
 }
 
 /// The launch-register convention for [`AccessStyle::Mem`] kernels, which

@@ -54,7 +54,10 @@ pub fn run_stream(program: Program, inputs: &[&[u8]]) -> (Core, Vec<u8>) {
 pub fn run_pingpong(program: Program, inputs: &[&[u8]], granularity: usize) -> (Core, Vec<u8>) {
     let n = inputs.len();
     let len = inputs[0].len();
-    assert!(inputs.iter().all(|i| i.len() == len), "equal-length streams");
+    assert!(
+        inputs.iter().all(|i| i.len() == len),
+        "equal-length streams"
+    );
     // The firmware splits object streams on object boundaries
     // (Section V-D: "consistent splitting of each object/LPA stream").
     let chunk = (BANK / n / granularity).max(1) * granularity;
@@ -81,7 +84,10 @@ pub fn run_pingpong(program: Program, inputs: &[&[u8]], granularity: usize) -> (
 pub fn run_mem(program: Program, inputs: &[&[u8]]) -> (Core, Vec<u8>) {
     let n = inputs.len();
     let len = inputs[0].len();
-    assert!(inputs.iter().all(|i| i.len() == len), "equal-length streams");
+    assert!(
+        inputs.iter().all(|i| i.len() == len),
+        "equal-length streams"
+    );
     let stride = len.next_multiple_of(64);
     let out_offset = (n * stride).next_multiple_of(64);
     // Generous output space: decompression can expand many-fold.

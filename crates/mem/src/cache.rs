@@ -72,7 +72,10 @@ impl Cache {
     ///
     /// Panics if geometry is degenerate (zero sets or non-power-of-two line).
     pub fn new(geom: CacheGeometry) -> Self {
-        assert!(geom.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            geom.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = geom.sets();
         assert!(sets > 0, "cache must have at least one set");
         Cache {

@@ -108,11 +108,7 @@ impl MemHierarchy {
 
     /// Builds the hierarchy over the shared DRAM.
     pub fn new(cfg: HierarchyConfig, dram: SharedDram) -> Self {
-        let line_bytes = cfg
-            .l1
-            .or(cfg.l2)
-            .map(|g| g.line_bytes)
-            .unwrap_or(64);
+        let line_bytes = cfg.l1.or(cfg.l2).map(|g| g.line_bytes).unwrap_or(64);
         MemHierarchy {
             l1: cfg.l1.map(Cache::new),
             l2: cfg.l2.map(Cache::new),
@@ -214,8 +210,9 @@ impl MemHierarchy {
             AccessKind::Load => {
                 let mut dram = self.dram.borrow_mut();
                 let bus = dram.post(ready, fill);
-                let exposed =
-                    SimDur::from_secs_f64(dram.latency().as_secs_f64() * self.cfg.mlp_latency_factor);
+                let exposed = SimDur::from_secs_f64(
+                    dram.latency().as_secs_f64() * self.cfg.mlp_latency_factor,
+                );
                 bus + exposed
             }
             // Store misses fetch the line for ownership but retire through
@@ -343,7 +340,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered > 100, "DCPT must cover a sequential stream, got {covered}");
+        assert!(
+            covered > 100,
+            "DCPT must cover a sequential stream, got {covered}"
+        );
         let (issued, useful) = hp.prefetch_counters().unwrap();
         assert!(issued >= useful);
         assert!(useful > 0);

@@ -28,10 +28,12 @@ impl Scratchpad {
     }
 
     fn check(&self, addr: u64, width: u32) -> Result<usize, MemError> {
-        let end = addr.checked_add(width as u64).ok_or(MemError::OutOfBounds {
-            addr,
-            size: self.data.len() as u64,
-        })?;
+        let end = addr
+            .checked_add(width as u64)
+            .ok_or(MemError::OutOfBounds {
+                addr,
+                size: self.data.len() as u64,
+            })?;
         if end > self.data.len() as u64 {
             return Err(MemError::OutOfBounds {
                 addr,
@@ -66,7 +68,8 @@ impl Scratchpad {
             return Err(MemError::BadWidth(width));
         }
         let base = self.check(addr, width)?;
-        self.data[base..base + width as usize].copy_from_slice(&value.to_le_bytes()[..width as usize]);
+        self.data[base..base + width as usize]
+            .copy_from_slice(&value.to_le_bytes()[..width as usize]);
         Ok(())
     }
 
@@ -108,7 +111,11 @@ mod tests {
         for &w in &[1u32, 2, 4, 8] {
             sp.store(8, w, 0x1122_3344_5566_7788).unwrap();
             let v = sp.load(8, w).unwrap();
-            let mask = if w == 8 { u64::MAX } else { (1u64 << (w * 8)) - 1 };
+            let mask = if w == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (w * 8)) - 1
+            };
             assert_eq!(v, 0x1122_3344_5566_7788 & mask);
         }
     }
@@ -123,11 +130,11 @@ mod tests {
     #[test]
     fn bounds_are_enforced() {
         let sp = Scratchpad::new(16);
+        assert!(matches!(sp.load(13, 4), Err(MemError::OutOfBounds { .. })));
         assert!(matches!(
-            sp.load(13, 4),
+            sp.load(u64::MAX, 8),
             Err(MemError::OutOfBounds { .. })
         ));
-        assert!(matches!(sp.load(u64::MAX, 8), Err(MemError::OutOfBounds { .. })));
     }
 
     #[test]

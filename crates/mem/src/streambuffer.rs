@@ -380,10 +380,18 @@ mod tests {
     #[test]
     fn read_waits_for_arrival_time() {
         let mut sb = StreamBuffer::new(cfg(2, 8));
-        sb.push_page(0, Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8]), SimTime::from_us(5))
-            .unwrap();
+        sb.push_page(
+            0,
+            Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8]),
+            SimTime::from_us(5),
+        )
+        .unwrap();
         match sb.read(0, 4, SimTime::ZERO).unwrap() {
-            ReadOutcome::Data { value, ready, freed_pages } => {
+            ReadOutcome::Data {
+                value,
+                ready,
+                freed_pages,
+            } => {
                 assert_eq!(value, u32::from_le_bytes([1, 2, 3, 4]) as u64);
                 assert_eq!(ready, SimTime::from_us(5));
                 assert_eq!(freed_pages, 0);
@@ -414,7 +422,11 @@ mod tests {
             .unwrap();
         sb.read(0, 2, SimTime::from_ns(100)).unwrap(); // consume 1,2
         match sb.read(0, 4, SimTime::from_ns(100)).unwrap() {
-            ReadOutcome::Data { value, ready, freed_pages } => {
+            ReadOutcome::Data {
+                value,
+                ready,
+                freed_pages,
+            } => {
                 assert_eq!(value, u32::from_le_bytes([3, 4, 5, 6]) as u64);
                 assert_eq!(ready, SimTime::from_ns(100)); // both pages arrived
                 assert_eq!(freed_pages, 1);
@@ -428,7 +440,10 @@ mod tests {
         let mut sb = StreamBuffer::new(cfg(2, 4));
         assert_eq!(sb.read(0, 1, SimTime::ZERO).unwrap(), ReadOutcome::Blocked);
         sb.close(0).unwrap();
-        assert_eq!(sb.read(0, 1, SimTime::ZERO).unwrap(), ReadOutcome::Exhausted);
+        assert_eq!(
+            sb.read(0, 1, SimTime::ZERO).unwrap(),
+            ReadOutcome::Exhausted
+        );
         assert!(sb.is_exhausted(0));
     }
 

@@ -16,14 +16,18 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::from_us(3) + SimDur::from_ns(500);
 /// assert_eq!(t.as_ps(), 3_500_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in picoseconds.
 ///
 /// Kept distinct from [`SimTime`] so that instants and durations cannot be
 /// confused (C-NEWTYPE).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDur(u64);
 
 impl SimTime {
@@ -108,7 +112,10 @@ impl SimDur {
     }
     /// Creates a duration from fractional seconds, rounding to picoseconds.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDur((secs * 1e12).round() as u64)
     }
 

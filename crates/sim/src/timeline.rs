@@ -71,31 +71,32 @@ impl Timeline {
 
     /// Reserves the resource for `service` starting no earlier than
     /// `ready`, in the earliest idle gap that fits.
+    ///
+    /// The schedule tail doubles as a last-grant cursor: a request ready
+    /// at or beyond it appends (or extends the tail interval) in O(1) —
+    /// the overwhelmingly common case for a resource driven by requesters
+    /// advancing in time order. Only a request ready *before* the tail
+    /// pays the earliest-fit gap scan.
     pub fn acquire(&mut self, ready: SimTime, service: SimDur) -> Grant {
         let ready = ready.max(self.floor);
         self.newest_ready = self.newest_ready.max(ready);
         let need = service.as_ps();
-        let mut start = ready.as_ps();
-        let mut insert_at = self.intervals.len();
-        for (i, &(s, e)) in self.intervals.iter().enumerate() {
-            if start + need <= s {
-                insert_at = i;
-                break;
+        let ready_ps = ready.as_ps();
+        let start = match self.intervals.back_mut() {
+            Some(tail) if ready_ps >= tail.1 => {
+                if ready_ps == tail.1 {
+                    tail.1 += need;
+                } else {
+                    self.intervals.push_back((ready_ps, ready_ps + need));
+                }
+                ready_ps
             }
-            start = start.max(e);
-        }
-        let end = start + need;
-        self.intervals.insert(insert_at, (start, end));
-        // Merge touching neighbors.
-        if insert_at + 1 < self.intervals.len() && self.intervals[insert_at].1 == self.intervals[insert_at + 1].0
-        {
-            let (_, e2) = self.intervals.remove(insert_at + 1).expect("bounds checked");
-            self.intervals[insert_at].1 = e2;
-        }
-        if insert_at > 0 && self.intervals[insert_at - 1].1 == self.intervals[insert_at].0 {
-            let (_, e2) = self.intervals.remove(insert_at).expect("bounds checked");
-            self.intervals[insert_at - 1].1 = e2;
-        }
+            Some(_) => self.place_earliest_fit(ready_ps, need),
+            None => {
+                self.intervals.push_back((ready_ps, ready_ps + need));
+                ready_ps
+            }
+        };
         self.prune();
         self.busy += service;
         self.grants += 1;
@@ -104,9 +105,39 @@ impl Timeline {
         self.queued_total += queued;
         Grant {
             start: start_t,
-            end: SimTime::from_ps(end),
+            end: SimTime::from_ps(start + need),
             queued,
         }
+    }
+
+    /// The slow path: scans for the earliest idle gap that fits, inserts,
+    /// and merges touching neighbors. Returns the service start.
+    fn place_earliest_fit(&mut self, ready_ps: u64, need: u64) -> u64 {
+        let mut start = ready_ps;
+        let mut insert_at = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if start + need <= s {
+                insert_at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        self.intervals.insert(insert_at, (start, start + need));
+        // Merge touching neighbors.
+        if insert_at + 1 < self.intervals.len()
+            && self.intervals[insert_at].1 == self.intervals[insert_at + 1].0
+        {
+            let (_, e2) = self
+                .intervals
+                .remove(insert_at + 1)
+                .expect("bounds checked");
+            self.intervals[insert_at].1 = e2;
+        }
+        if insert_at > 0 && self.intervals[insert_at - 1].1 == self.intervals[insert_at].0 {
+            let (_, e2) = self.intervals.remove(insert_at).expect("bounds checked");
+            self.intervals[insert_at - 1].1 = e2;
+        }
+        start
     }
 
     fn prune(&mut self) {
@@ -156,6 +187,14 @@ impl Timeline {
     /// Diagnostic name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The currently tracked busy intervals, oldest first (diagnostics and
+    /// invariant tests; pruned history is not included).
+    pub fn busy_intervals(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (SimTime::from_ps(s), SimTime::from_ps(e)))
     }
 
     /// Resets busy/queue accounting without changing the schedule (used
@@ -261,5 +300,100 @@ mod tests {
         t.acquire(SimTime::from_ms(100), SimDur::from_ns(10));
         let g = t.acquire(SimTime::ZERO, SimDur::from_ns(10));
         assert!(g.start >= SimTime::from_ns(10), "early gap forfeited");
+    }
+
+    #[test]
+    fn backfill_merges_with_both_neighbors() {
+        // Two booked intervals with an exactly-sized gap between them: the
+        // backfilled request bridges both, collapsing three intervals into
+        // one.
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(10)); // [0, 10)
+        t.acquire(SimTime::from_ns(20), SimDur::from_ns(10)); // [20, 30)
+        assert_eq!(t.busy_intervals().count(), 2);
+        let g = t.acquire(SimTime::from_ns(10), SimDur::from_ns(10)); // fills [10, 20)
+        assert_eq!(g.start, SimTime::from_ns(10));
+        assert_eq!(g.queued, SimDur::ZERO);
+        let merged: Vec<_> = t.busy_intervals().collect();
+        assert_eq!(merged, vec![(SimTime::ZERO, SimTime::from_ns(30))]);
+        assert_eq!(t.busy_time(), SimDur::from_ns(30));
+    }
+
+    #[test]
+    fn reservation_exactly_at_prune_horizon_survives() {
+        let mut t = Timeline::new("t");
+        let early = t.acquire(SimTime::ZERO, SimDur::from_ns(10));
+        // Advance the newest request so the early interval's end sits
+        // exactly on the prune horizon: `end == newest - PRUNE_WINDOW`
+        // must NOT be forfeited (prune cuts strictly-older intervals).
+        let newest = early.end + Timeline::PRUNE_WINDOW;
+        t.acquire(newest, SimDur::from_ns(10));
+        assert_eq!(t.busy_intervals().count(), 2, "horizon interval kept");
+        // A backfill right behind it is still placeable.
+        let g = t.acquire(SimTime::from_ns(10), SimDur::from_ns(5));
+        assert_eq!(g.start, SimTime::from_ns(10));
+        // One picosecond further and the early region is forfeited.
+        t.acquire(newest + SimDur::from_ps(1), SimDur::from_ns(1));
+        let g = t.acquire(SimTime::ZERO, SimDur::from_ns(1));
+        assert!(g.start >= SimTime::from_ns(10), "past-horizon gap gone");
+    }
+
+    #[test]
+    fn fast_append_and_earliest_fit_agree_on_tail_contention() {
+        // Drive two interleaved requesters: one monotone (hits the O(1)
+        // append path), one lagging (forces the gap scan). The schedule
+        // must stay disjoint and account every picosecond of service.
+        let mut t = Timeline::new("t");
+        let mut granted = SimDur::ZERO;
+        for i in 0..200u64 {
+            let (ready, len) = if i % 3 == 0 {
+                (SimTime::from_ns(i * 7), SimDur::from_ns(9))
+            } else {
+                (SimTime::from_ns(i), SimDur::from_ns(2))
+            };
+            let g = t.acquire(ready, len);
+            assert!(g.start >= ready);
+            assert_eq!(g.end.since(g.start), len);
+            granted += len;
+        }
+        assert_eq!(t.busy_time(), granted);
+        let iv: Vec<_> = t.busy_intervals().collect();
+        for w in iv.windows(2) {
+            assert!(w[0].1 < w[1].0, "disjoint and sorted: {w:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever the arrival pattern, the tracked intervals stay
+        /// disjoint and sorted, and busy time equals the sum of granted
+        /// service.
+        #[test]
+        fn schedule_invariants_hold(
+            reqs in proptest::collection::vec((0u64..2_000, 1u64..300), 1..120)
+        ) {
+            let mut t = Timeline::new("prop");
+            let mut service_sum = SimDur::ZERO;
+            for &(ready_ns, len_ns) in &reqs {
+                let len = SimDur::from_ns(len_ns);
+                let g = t.acquire(SimTime::from_ns(ready_ns), len);
+                prop_assert!(g.start >= SimTime::from_ns(ready_ns));
+                prop_assert_eq!(g.end.since(g.start), len);
+                service_sum += len;
+            }
+            prop_assert_eq!(t.busy_time(), service_sum);
+            let iv: Vec<_> = t.busy_intervals().collect();
+            for w in iv.windows(2) {
+                prop_assert!(w[0].0 < w[0].1, "non-empty interval {:?}", w[0]);
+                prop_assert!(w[0].1 < w[1].0, "disjoint, sorted, merged {:?}", w);
+            }
+        }
     }
 }

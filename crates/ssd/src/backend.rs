@@ -193,8 +193,7 @@ pub(crate) fn schedule_plans(
                 let (data, flash_arrival) = flash
                     .read_page(page.addr, issue)
                     .expect("scomp plans only reference written pages");
-                let payload =
-                    data.slice(page.offset as usize..(page.offset + page.len) as usize);
+                let payload = data.slice(page.offset as usize..(page.offset + page.len) as usize);
                 // The crossbar is cut-through (Figure 6: computing on data
                 // *streaming* between flash and the engines): the port
                 // transfer overlaps the channel-bus transfer, so it only

@@ -16,6 +16,7 @@ pub struct KernelBundle {
     scratchpad_image: Vec<(u32, Vec<u8>)>,
     granularity: u32,
     max_out_per_in: f64,
+    record_delim: Option<u8>,
 }
 
 impl KernelBundle {
@@ -36,7 +37,18 @@ impl KernelBundle {
             scratchpad_image: Vec::new(),
             granularity,
             max_out_per_in,
+            record_delim: None,
         }
+    }
+
+    /// Marks the input as variable-length records terminated by `delim`
+    /// (e.g. `b'\n'` for CSV). Task decomposition then snaps shard
+    /// boundaries to the next delimiter so no record straddles two
+    /// engines — splitting mid-record would silently drop or corrupt the
+    /// straddled record on both sides.
+    pub fn with_record_delim(mut self, delim: u8) -> Self {
+        self.record_delim = Some(delim);
+        self
     }
 
     /// Adds scratchpad state to preload (GF tables, key schedules, ...).
@@ -68,6 +80,11 @@ impl KernelBundle {
     /// Output bound per input byte.
     pub fn max_out_per_in(&self) -> f64 {
         self.max_out_per_in
+    }
+
+    /// Record delimiter for variable-length-record inputs, if any.
+    pub fn record_delim(&self) -> Option<u8> {
+        self.record_delim
     }
 }
 

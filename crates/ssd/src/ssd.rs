@@ -1,7 +1,7 @@
 //! The SSD: plain IO paths plus the `scomp` compute path.
 
-use crate::backend::{schedule_plans, split_ranges, Backend, PagePlan, StreamPlan};
 use crate::backend::FlashOut;
+use crate::backend::{schedule_plans, split_ranges, Backend, PagePlan, StreamPlan};
 use crate::request::OutputTarget;
 use crate::{CoreReport, ScompRequest, ScompResult, SsdConfig, SsdError};
 use assasin_core::{
@@ -250,7 +250,11 @@ impl Ssd {
             }
             return Ok(plans);
         }
-        let ranges = split_ranges(stream_bytes[0], n_cores, gran);
+        let mut ranges = split_ranges(stream_bytes[0], n_cores, gran);
+        if let Some(delim) = req.kernel.record_delim() {
+            self.snap_to_delimiters(&mut ranges, &req.input_streams[0], stream_bytes[0], delim)?;
+        }
+        let ranges = ranges;
         let mut plans = Vec::with_capacity(n_cores);
         for &(start, end) in &ranges {
             let mut per_stream = Vec::new();
@@ -282,6 +286,48 @@ impl Ssd {
         Ok(plans)
     }
 
+    /// Moves each interior shard boundary forward to just past the next
+    /// `delim` byte, so no variable-length record straddles two engines.
+    /// A control-plane pass: the firmware peeks page contents without
+    /// spending simulated time (boundary probing touches a handful of
+    /// bytes per core, negligible next to the streamed data).
+    fn snap_to_delimiters(
+        &self,
+        ranges: &mut [(u64, u64)],
+        lpas: &[Lpa],
+        total: u64,
+        delim: u8,
+    ) -> Result<(), SsdError> {
+        let page = self.cfg.geometry.page_bytes as u64;
+        let peek = |pos: u64| -> Result<u8, SsdError> {
+            let lpa = lpas[(pos / page) as usize];
+            let addr = self
+                .ftl
+                .translate(lpa)
+                .ok_or(SsdError::Ftl(assasin_ftl::FtlError::Unmapped(lpa)))?;
+            let data = self
+                .flash
+                .peek_page(addr)
+                .ok_or(SsdError::Ftl(assasin_ftl::FtlError::Unmapped(lpa)))?;
+            Ok(data[(pos % page) as usize])
+        };
+        for i in 0..ranges.len().saturating_sub(1) {
+            let mut b = ranges[i].1.max(ranges[i].0);
+            if b > 0 && b < total {
+                // Scan forward to the byte after the next delimiter.
+                while b < total && peek(b - 1)? != delim {
+                    b += 1;
+                }
+            }
+            ranges[i].1 = b.min(total);
+            ranges[i + 1].0 = ranges[i].1;
+        }
+        if let Some(last) = ranges.last_mut() {
+            last.1 = last.1.max(last.0);
+        }
+        Ok(())
+    }
+
     /// Executes a computational-storage request.
     ///
     /// # Errors
@@ -308,7 +354,10 @@ impl Ssd {
         // ahead of consumption; schedule every page's arrival now. The Mem
         // style stages into DRAM windows instead (see `stage_windows`).
         let scheduled = if style == AccessStyle::Mem {
-            plans.iter().map(|s| s.iter().map(|_| Default::default()).collect()).collect()
+            plans
+                .iter()
+                .map(|s| s.iter().map(|_| Default::default()).collect())
+                .collect()
         } else {
             schedule_plans(
                 &mut self.flash,
@@ -476,7 +525,11 @@ impl Ssd {
             // the request completes when programs are durable.
             if backend.flash_out.is_some() {
                 backend.flush_out_page(id, halt_time.max(backend.out_done[id]));
-                let prog = backend.flash_out.as_ref().expect("write-path state").prog_done[id];
+                let prog = backend
+                    .flash_out
+                    .as_ref()
+                    .expect("write-path state")
+                    .prog_done[id];
                 backend.out_done[id] = backend.out_done[id].max(prog);
             }
             let end = halt_time.max(backend.out_done[id]);
@@ -518,7 +571,9 @@ impl Ssd {
         let channel_bytes = (0..channels)
             .map(|c| backend.flash.channel_stats(c).bytes_read)
             .collect();
-        let channel_busy = (0..channels).map(|c| backend.flash.channel_busy(c)).collect();
+        let channel_busy = (0..channels)
+            .map(|c| backend.flash.channel_busy(c))
+            .collect();
         let dram_traffic = self.dram.borrow().bytes_moved();
 
         Ok(ScompResult {
@@ -601,8 +656,8 @@ impl Ssd {
         let traffic_per_byte = 2.0 + profile.out_per_in;
         let dram_bps = self.cfg.dram_bw / traffic_per_byte;
         let throughput = compute_bps.min(dram_bps).min(self.cfg.flash_bw());
-        let elapsed = SimDur::from_secs_f64(inputs_total as f64 / throughput)
-            + self.cfg.pcie_latency;
+        let elapsed =
+            SimDur::from_secs_f64(inputs_total as f64 / throughput) + self.cfg.pcie_latency;
 
         let channels = self.cfg.geometry.channels as u64;
         Ok(ScompResult {
@@ -637,14 +692,10 @@ fn stage_windows(
     let n_in = req.input_streams.len();
     // Window layout per core: n_in stream regions + output area.
     for (id, core) in cores.iter_mut().enumerate() {
-        let in_len: u64 = plans[id]
-            .first()
-            .map(|p| p.remaining_bytes())
-            .unwrap_or(0);
+        let in_len: u64 = plans[id].first().map(|p| p.remaining_bytes()).unwrap_or(0);
         let stride = in_len.next_multiple_of(64);
         let out_offset = (stride * n_in as u64).next_multiple_of(page_bytes as u64);
-        let out_space = ((in_len as f64 * n_in as f64 * req.kernel.max_out_per_in()).ceil()
-            as u64)
+        let out_space = ((in_len as f64 * n_in as f64 * req.kernel.max_out_per_in()).ceil() as u64)
             .next_multiple_of(64)
             + 64;
         out_offsets[id] = out_offset;
@@ -661,10 +712,7 @@ fn stage_windows(
     let dram_latency = backend.dram.borrow().latency();
     let mut queues: Vec<(usize, usize, u64, VecDeque<PagePlan>)> = Vec::new();
     for (id, streams) in plans.iter_mut().enumerate() {
-        let in_len: u64 = streams
-            .first()
-            .map(|p| p.remaining_bytes())
-            .unwrap_or(0);
+        let in_len: u64 = streams.first().map(|p| p.remaining_bytes()).unwrap_or(0);
         let stride = in_len.next_multiple_of(64);
         for (sid, plan) in streams.iter_mut().enumerate() {
             let pages = std::mem::take(&mut plan.pages);
@@ -690,10 +738,11 @@ fn stage_windows(
             backend.per_core_streamed[*id] += plan.len as u64;
             let offset = *sid as u64 * *stride + cursors[qi];
             cursors[qi] += plan.len as u64;
-            cores[*id]
-                .window_mut()
-                .expect("window set above")
-                .stage(offset, &payload, flash_arrival + dram_latency);
+            cores[*id].window_mut().expect("window set above").stage(
+                offset,
+                &payload,
+                flash_arrival + dram_latency,
+            );
         }
     }
     Ok(())
@@ -735,7 +784,11 @@ mod tests {
                 .with_stream_bytes(vec![data.len() as u64]);
             let r = ssd.scomp(&req).expect("scomp completes");
             assert_eq!(r.bytes_in, data.len() as u64, "engine {engine:?}");
-            assert!(r.throughput_gbps() > 0.05, "engine {engine:?}: {}", r.throughput_gbps());
+            assert!(
+                r.throughput_gbps() > 0.05,
+                "engine {engine:?}: {}",
+                r.throughput_gbps()
+            );
         }
     }
 
@@ -748,7 +801,9 @@ mod tests {
             hi: 600,
         };
         let data: Vec<u8> = (0..4096u32)
-            .flat_map(|i| (0..12u32).flat_map(move |w| (i.wrapping_mul(w + 3) % 1000).to_le_bytes()))
+            .flat_map(|i| {
+                (0..12u32).flat_map(move |w| (i.wrapping_mul(w + 3) % 1000).to_le_bytes())
+            })
             .collect();
         let expect = query::filter_golden(&data, p);
         for engine in [
@@ -762,8 +817,8 @@ mod tests {
             let mut ssd = make_ssd(engine);
             let lpas = ssd.load_object(0, &data).unwrap();
             let bundle = KernelBundle::new("filter", 48, 1.0, move |s| query::filter_program(s, p));
-            let req = ScompRequest::new(bundle, vec![lpas])
-                .with_stream_bytes(vec![data.len() as u64]);
+            let req =
+                ScompRequest::new(bundle, vec![lpas]).with_stream_bytes(vec![data.len() as u64]);
             let r = ssd.scomp(&req).expect("scomp completes");
             assert_eq!(r.concat_output(), expect, "engine {engine:?}");
             assert!(r.bytes_out < r.bytes_in, "filter reduces data");
@@ -803,8 +858,7 @@ mod tests {
         let mut ssd = make_ssd(EngineKind::AssasinSb);
         let lpas = ssd.load_object(0, &data[..64 * 1024]).unwrap();
         let bundle = KernelBundle::new("stat", stat::TUPLE_BYTES, 0.0, stat::program);
-        let req = ScompRequest::new(bundle, vec![lpas])
-            .with_stream_bytes(vec![64 * 1024]);
+        let req = ScompRequest::new(bundle, vec![lpas]).with_stream_bytes(vec![64 * 1024]);
         let r = ssd.scomp(&req).unwrap();
         assert_eq!(r.bytes_in, 64 * 1024);
         assert_eq!(r.bytes_out, 0);
@@ -833,8 +887,8 @@ mod tests {
         let data = vec![7u8; 512 * 1024];
         let mut ssd = make_ssd(EngineKind::AssasinSb);
         let lpas = ssd.load_object(0, &data).unwrap();
-        let req = ScompRequest::new(scan_bundle(), vec![lpas])
-            .with_stream_bytes(vec![data.len() as u64]);
+        let req =
+            ScompRequest::new(scan_bundle(), vec![lpas]).with_stream_bytes(vec![data.len() as u64]);
         let r = ssd.scomp(&req).unwrap();
         assert_eq!(r.per_core.len(), ssd.config().n_cores);
         let total_in: u64 = r.per_core.iter().map(|c| c.bytes_in).sum();
@@ -883,7 +937,11 @@ mod tests {
         use assasin_kernels::replicate;
         let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
         let expect = replicate::golden(&data);
-        for engine in [EngineKind::AssasinSb, EngineKind::AssasinSp, EngineKind::Baseline] {
+        for engine in [
+            EngineKind::AssasinSb,
+            EngineKind::AssasinSp,
+            EngineKind::Baseline,
+        ] {
             let mut ssd = make_ssd(engine);
             let lpas = ssd.load_object(0, &data).unwrap();
             let bundle = KernelBundle::new(
@@ -921,8 +979,7 @@ mod tests {
         let mut ssd = make_ssd(EngineKind::AssasinSb);
         let data = vec![1u8; 8192];
         let lpas = ssd.load_object(0, &data).unwrap();
-        let req = ScompRequest::new(scan_bundle(), vec![lpas])
-            .with_flash_output(u64::MAX / 2);
+        let req = ScompRequest::new(scan_bundle(), vec![lpas]).with_flash_output(u64::MAX / 2);
         assert!(matches!(ssd.scomp(&req), Err(SsdError::BadRequest(_))));
     }
 
@@ -930,7 +987,11 @@ mod tests {
     fn multi_stream_raid4_via_ssd() {
         use assasin_kernels::raid;
         let streams: Vec<Vec<u8>> = (0..4usize)
-            .map(|s| (0..32 * 1024).map(|i| ((i * 13 + s * 7) % 256) as u8).collect())
+            .map(|s| {
+                (0..32 * 1024)
+                    .map(|i| ((i * 13 + s * 7) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let mut ssd = make_ssd(EngineKind::AssasinSb);
         let mut all_lpas = Vec::new();
@@ -940,8 +1001,7 @@ mod tests {
         let refs: Vec<&[u8]> = streams.iter().map(|v| v.as_slice()).collect();
         let expect = raid::raid4_golden(&refs);
         let bundle = KernelBundle::new("raid4", 4, 0.25, raid::raid4_program);
-        let req = ScompRequest::new(bundle, all_lpas)
-            .with_stream_bytes(vec![32 * 1024; 4]);
+        let req = ScompRequest::new(bundle, all_lpas).with_stream_bytes(vec![32 * 1024; 4]);
         let r = ssd.scomp(&req).unwrap();
         assert_eq!(r.concat_output(), expect);
     }

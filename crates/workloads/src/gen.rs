@@ -73,14 +73,14 @@ impl TpchGen {
                         1 + rng.gen_range(0..parts as u32),
                         1 + rng.gen_range(0..supps as u32),
                         line,
-                        1 + rng.gen_range(0..50),              // quantity
-                        100 + rng.gen_range(0..100_000),       // extendedprice (cents)
-                        rng.gen_range(0..11),                  // discount (%)
-                        rng.gen_range(0..9),                   // tax (%)
-                        rng.gen_range(0..3),                   // returnflag
-                        rng.gen_range(0..2),                   // linestatus
+                        1 + rng.gen_range(0..50),        // quantity
+                        100 + rng.gen_range(0..100_000), // extendedprice (cents)
+                        rng.gen_range(0..11),            // discount (%)
+                        rng.gen_range(0..9),             // tax (%)
+                        rng.gen_range(0..3),             // returnflag
+                        rng.gen_range(0..2),             // linestatus
                         shipdate,
-                        shipdate + 1 + rng.gen_range(0..30),   // receiptdate
+                        shipdate + 1 + rng.gen_range(0..30), // receiptdate
                     ]);
                     line += 1;
                 }
@@ -90,12 +90,12 @@ impl TpchGen {
                     data.extend_from_slice(&[
                         i as u32 + 1,
                         1 + rng.gen_range(0..custs as u32),
-                        rng.gen_range(0..3),             // orderstatus
+                        rng.gen_range(0..3),              // orderstatus
                         1000 + rng.gen_range(0..500_000), // totalprice
-                        rng.gen_range(0..DATE_DAYS),     // orderdate
-                        rng.gen_range(0..5),             // orderpriority
-                        rng.gen_range(0..2),             // shippriority
-                        rng.gen_range(0..1000),          // clerk
+                        rng.gen_range(0..DATE_DAYS),      // orderdate
+                        rng.gen_range(0..5),              // orderpriority
+                        rng.gen_range(0..2),              // shippriority
+                        rng.gen_range(0..1000),           // clerk
                     ]);
                 }
             }
@@ -116,7 +116,7 @@ impl TpchGen {
                         rng.gen_range(0..25),  // brand
                         rng.gen_range(0..150), // type
                         1 + rng.gen_range(0..50),
-                        rng.gen_range(0..40),  // container
+                        rng.gen_range(0..40), // container
                         900 + rng.gen_range(0..10_000),
                     ]);
                 }

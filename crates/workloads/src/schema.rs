@@ -65,7 +65,14 @@ impl TableId {
                 "clerk",
             ],
             TableId::Customer => &["custkey", "nationkey", "acctbal", "mktsegment"],
-            TableId::Part => &["partkey", "brand", "type", "size", "container", "retailprice"],
+            TableId::Part => &[
+                "partkey",
+                "brand",
+                "type",
+                "size",
+                "container",
+                "retailprice",
+            ],
             TableId::Supplier => &["suppkey", "nationkey", "acctbal", "pad"],
             TableId::Partsupp => &["partkey", "suppkey", "availqty", "supplycost"],
             TableId::Nation => &["nationkey", "regionkey", "pad0", "pad1"],

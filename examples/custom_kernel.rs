@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Write-path offload: deltas land in flash pages, never crossing DRAM
     // or PCIe.
     let bundle = KernelBundle::new("delta", 4, 1.0, move |style| {
-        assert_eq!(style, AccessStyle::Stream, "this kernel uses the stream ISA");
+        assert_eq!(
+            style,
+            AccessStyle::Stream,
+            "this kernel uses the stream ISA"
+        );
         program.clone()
     });
     let request = ScompRequest::new(bundle, vec![lpas])

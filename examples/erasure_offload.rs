@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let bundle =
         KernelBundle::new("raid6", 1, 0.5, raid::raid6_program).with_scratchpad_image(image);
-    let request = ScompRequest::new(bundle, lpa_lists)
-        .with_stream_bytes(vec![STREAM_BYTES as u64; 4]);
+    let request =
+        ScompRequest::new(bundle, lpa_lists).with_stream_bytes(vec![STREAM_BYTES as u64; 4]);
     let result = ssd.scomp(&request)?;
     println!(
         "coded 4 x {} KiB at {:.2} GB/s (input side), DRAM traffic {:.2} B/B",
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify against the golden model.
     let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
-    assert_eq!(coded, raid::raid6_golden(&refs), "in-SSD parity must be exact");
+    assert_eq!(
+        coded,
+        raid::raid6_golden(&refs),
+        "in-SSD parity must be exact"
+    );
 
     // Demonstrate single-failure recovery via P: lose block 2, rebuild it.
     let rebuilt: Vec<u8> = (0..STREAM_BYTES)

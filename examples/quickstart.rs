@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values: Vec<u32> = (0..2 * 1024 * 1024).map(|i| i % 1000).collect();
     let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
     let lpas = ssd.load_object(0, &data)?;
-    println!("stored {} MiB across {} flash pages", data.len() >> 20, lpas.len());
+    println!(
+        "stored {} MiB across {} flash pages",
+        data.len() >> 20,
+        lpas.len()
+    );
 
     // 3. Offload the `Stat` kernel (sum a column) as an NVMe `scomp`
     //    request: the kernel runs on the in-SSD cores, streaming data

@@ -1,0 +1,31 @@
+//! Deterministic case runner configuration.
+
+/// The RNG driving every strategy.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Per-test configuration (shim for `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Fixed per-case seed: runs are reproducible and a failing case number
+/// is enough to replay it.
+pub fn case_rng(case: u32) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(0xA55A_5EED_u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

@@ -1,0 +1,186 @@
+//! Minimal vendored stand-in for `rand` 0.8 (see `shims/README.md`).
+//!
+//! Implements only what the workload generators use: `SmallRng` seeded
+//! through `seed_from_u64`, and `Rng::gen_range` over integer ranges.
+//! `SmallRng` is xoshiro256++ with SplitMix64 seed expansion — the same
+//! generator upstream `rand` 0.8 uses on 64-bit targets — and range
+//! sampling uses the same widening-multiply rejection scheme, so
+//! deterministic workload streams keep their statistical properties.
+
+pub mod rngs;
+
+pub use rngs::SmallRng;
+
+/// Raw generator output (shim for `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed (shim for `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed with SplitMix64, like upstream's default.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers (shim for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive integer range.
+    ///
+    /// The output is a direct type parameter (as upstream) so integer
+    /// literals in the range infer from the call site's expected type.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)` — 53 random mantissa bits.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli(1/2).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Range types accepted by [`Rng::gen_range`].
+///
+/// Implemented once, generically, over [`SampleUniform`] element types —
+/// a single blanket impl (like upstream) keeps integer-literal inference
+/// working: `1 + rng.gen_range(0..7)` in a `u32` context infers `u32`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly sampleable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn to_i128(self) -> i128;
+    fn wrapping_add_u64(self, offset: u64) -> Self;
+    fn full_random<R: RngCore>(rng: &mut R) -> Self;
+    fn is_type_min(self) -> bool;
+    fn is_type_max(self) -> bool;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn wrapping_add_u64(self, offset: u64) -> $t {
+                self.wrapping_add(offset as $t)
+            }
+            fn full_random<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+            fn is_type_min(self) -> bool {
+                self == <$t>::MIN
+            }
+            fn is_type_max(self) -> bool {
+                self == <$t>::MAX
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        let span = (self.end.to_i128() - self.start.to_i128()) as u64;
+        self.start.wrapping_add_u64(bounded_u64(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty gen_range");
+        if start.is_type_min() && end.is_type_max() {
+            return T::full_random(rng);
+        }
+        let span = (end.to_i128() - start.to_i128() + 1) as u64;
+        start.wrapping_add_u64(bounded_u64(rng, span))
+    }
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply with rejection
+/// (Lemire's method, as upstream's `UniformInt::sample_single`).
+fn bounded_u64<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = rng.gen_range(0u32..10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "bucket at {frac}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            match rng.gen_range(0u8..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -1,0 +1,43 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// Small fast non-crypto PRNG: xoshiro256++ (what upstream `rand` 0.8
+/// backs `SmallRng` with on 64-bit platforms).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(mut state: u64) -> SmallRng {
+        // SplitMix64 expansion (rand_core's default seed_from_u64).
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        debug_assert!(s.iter().any(|&w| w != 0), "splitmix never yields all-zero");
+        SmallRng { s }
+    }
+}

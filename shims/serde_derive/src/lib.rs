@@ -1,0 +1,304 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim (see `shims/README.md`).
+//!
+//! Parses the item with plain `proc_macro` token iteration (no `syn`):
+//! supports non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple or struct-like — exactly the shapes this
+//! workspace derives on. Output follows serde's externally-tagged JSON
+//! data model so reports keep the conventional layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::NamedStruct(fields) => object_expr(fields, "self."),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{0} => ::serde::Value::String(\"{0}\".to_string()),\n",
+                            v.name
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{0}({1}) => ::serde::Value::object(vec![(\"{0}\".to_string(), {2})]),\n",
+                            v.name,
+                            binds.join(", "),
+                            inner
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = object_expr(fields, "");
+                        arms.push_str(&format!(
+                            "Self::{0} {{ {1} }} => ::serde::Value::object(vec![(\"{0}\".to_string(), {2})]),\n",
+                            v.name, binds, inner
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {}\n    }}\n}}\n",
+        item.name, body
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// No-op `Deserialize` derive: the shim has no deserialization path; the
+/// derive exists so `#[derive(Deserialize)]` sites keep compiling.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn object_expr(fields: &[String], access: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{access}{f}))"))
+        .collect();
+    format!("::serde::Value::object(vec![{}])", pairs.join(", "))
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("shim serde_derive does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_arity(g.stream());
+                Item {
+                    name,
+                    shape: if n == 1 {
+                        Shape::NewtypeStruct
+                    } else {
+                        Shape::TupleStruct(n)
+                    },
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(variants(g.stream())),
+            },
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = toks.next() else {
+            break;
+        };
+        fields.push(fname.to_string());
+        // Expect ':', then skip the type up to a top-level comma. Angle
+        // brackets are bare puncts, so track their depth to step over
+        // commas inside generic arguments.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {fname}, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (top-level comma count).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_any = false;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in body {
+        saw_any = true;
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                n += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if saw_any && !trailing_comma {
+        n += 1;
+    }
+    n
+}
+
+fn variants(body: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(vname)) = toks.next() else {
+            break;
+        };
+        let name = vname.to_string();
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                toks.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_arity(g.stream());
+                toks.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        out.push(Variant { name, shape });
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        let mut angle = 0i32;
+        while let Some(t) = toks.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,178 @@
+//! Minimal vendored stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! Supports exactly what the harness uses: `to_value` and
+//! `to_string_pretty`. Output matches upstream's pretty printer —
+//! two-space indent, object keys sorted (via the shim `Value`'s sorted
+//! construction), floats printed shortest-roundtrip with a trailing
+//! `.0` for integral values — so regenerated `reports/*.json` stay
+//! byte-identical to the committed ones.
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Infallible in the shim, but typed like upstream so call sites keep
+/// their `.expect(..)`.
+pub type Error = std::convert::Infallible;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a JSON tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Compact one-line JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Pretty JSON, two-space indent (upstream `PrettyFormatter` defaults).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                indent(depth + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push('}');
+        }
+        other => write_scalar(other, out),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+        other => write_scalar(other, out),
+    }
+}
+
+fn write_scalar(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(_) | Value::Object(_) => out.push_str(match v {
+            Value::Array(_) => "[]",
+            _ => "{}",
+        }),
+    }
+}
+
+/// Shortest-roundtrip float, with `.0` appended for integral values —
+/// the format `ryu` produces for upstream serde_json.
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_upstream_layout() {
+        let v = Value::object(vec![
+            ("b".to_string(), Value::Float(2.0)),
+            (
+                "a".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Null]),
+            ),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    null\n  ],\n  \"b\": 2.0\n}");
+    }
+
+    #[test]
+    fn floats_keep_shortest_roundtrip_form() {
+        let mut s = String::new();
+        write_float(3.0779070868187213, &mut s);
+        assert_eq!(s, "3.0779070868187213");
+        s.clear();
+        write_float(1.0, &mut s);
+        assert_eq!(s, "1.0");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}

@@ -32,9 +32,11 @@ fn psf_offload_is_bit_exact_on_all_engines() {
         let mut ssd = small_ssd(engine);
         let lpas = ssd.load_object(0, &csv).expect("load");
         let p = params.clone();
-        let bundle = KernelBundle::new("psf", 1, 1.0, move |s| psf_program(s, &p));
-        let req =
-            ScompRequest::new(bundle, vec![lpas]).with_stream_bytes(vec![csv.len() as u64]);
+        // CSV lines are variable-length records: decomposition must not
+        // split one across engines.
+        let bundle =
+            KernelBundle::new("psf", 1, 1.0, move |s| psf_program(s, &p)).with_record_delim(b'\n');
+        let req = ScompRequest::new(bundle, vec![lpas]).with_stream_bytes(vec![csv.len() as u64]);
         let r = ssd.scomp(&req).expect("scomp");
         assert_eq!(r.concat_output(), expect, "{engine:?}");
         assert!(r.bytes_out < r.bytes_in / 2, "{engine:?}: early reduction");
@@ -81,7 +83,9 @@ fn skewed_placement_is_visible_and_survives_compute() {
     let mut ssd = small_ssd(EngineKind::AssasinSb);
     let channels = ssd.config().geometry.channels;
     let data = vec![9u8; 256 * 1024];
-    let pages = data.len().div_ceil(ssd.config().geometry.page_bytes as usize) as u64;
+    let pages = data
+        .len()
+        .div_ceil(ssd.config().geometry.page_bytes as usize) as u64;
     ssd.set_placement(Placement::skewed(channels, 0.75), pages);
     let lpas = ssd.load_object(0, &data).unwrap();
     let skew = measure_skew(&ssd.channel_distribution(&lpas));
@@ -179,7 +183,9 @@ fn full_table_ii_coverage_runs_through_the_ssd() {
 
     // Graph analysis: degree counting, no output stream.
     let edges = graph::edges_to_bytes(
-        &(0..4096u32).map(|i| (i % 64, (i * 7) % 64)).collect::<Vec<_>>(),
+        &(0..4096u32)
+            .map(|i| (i % 64, (i * 7) % 64))
+            .collect::<Vec<_>>(),
     );
     let lpas = ssd.load_object(0, &edges).unwrap();
     let req = ScompRequest::new(
@@ -201,7 +207,10 @@ fn full_table_ii_coverage_runs_through_the_ssd() {
     )
     .with_stream_bytes(vec![data.len() as u64]);
     let r = ssd.scomp(&req).unwrap();
-    assert!(r.bytes_out < r.bytes_in / 2, "dedup reduces repeated blocks");
+    assert!(
+        r.bytes_out < r.bytes_in / 2,
+        "dedup reduces repeated blocks"
+    );
 
     // NN inference end-to-end matches the golden model.
     let model = nn::Model::demo(5);
@@ -223,7 +232,9 @@ fn full_table_ii_coverage_runs_through_the_ssd() {
             let mut v = vec![0i32; nn_train::IN_DIM];
             v[0] = (i % 5) as i32 - 2;
             v.push(3 * v[0] + 1);
-            v.into_iter().flat_map(|x| x.to_le_bytes()).collect::<Vec<u8>>()
+            v.into_iter()
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<u8>>()
         })
         .collect();
     let lpas = ssd.load_object(12_000, &samples).unwrap();

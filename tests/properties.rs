@@ -54,12 +54,28 @@ fn cond_strategy() -> impl Strategy<Value = BranchCond> {
 fn instr_strategy() -> impl Strategy<Value = Instr> {
     let width = prop_oneof![Just(1u8), Just(2u8), Just(4u8)];
     prop_oneof![
-        (alu_op_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+        (
+            alu_op_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy()
+        )
             .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (alu_op_strategy(), reg_strategy(), reg_strategy(), -2048i32..=2047)
+        (
+            alu_op_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..=2047
+        )
             .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
         (reg_strategy(), 0u32..=0xF_FFFF).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (width.clone(), any::<bool>(), reg_strategy(), reg_strategy(), -2048i32..=2047)
+        (
+            width.clone(),
+            any::<bool>(),
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..=2047
+        )
             .prop_map(|(width, signed, rd, base, offset)| Instr::Load {
                 width,
                 signed,
@@ -67,14 +83,24 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
                 base,
                 offset
             }),
-        (width.clone(), reg_strategy(), reg_strategy(), -2048i32..=2047)
+        (
+            width.clone(),
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..=2047
+        )
             .prop_map(|(width, rs, base, offset)| Instr::Store {
                 width,
                 rs,
                 base,
                 offset
             }),
-        (cond_strategy(), reg_strategy(), reg_strategy(), 0u32..=0x3FFF)
+        (
+            cond_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            0u32..=0x3FFF
+        )
             .prop_map(|(cond, rs1, rs2, target)| Instr::Branch {
                 cond,
                 rs1,
@@ -85,10 +111,16 @@ fn instr_strategy() -> impl Strategy<Value = Instr> {
         (reg_strategy(), reg_strategy(), -2048i32..=2047)
             .prop_map(|(rd, base, offset)| Instr::Jalr { rd, base, offset }),
         Just(Instr::Halt),
-        (reg_strategy(), 0u8..8, width.clone())
-            .prop_map(|(rd, sid, width)| Instr::StreamLoad { rd, sid, width }),
-        (0u8..8, width, reg_strategy())
-            .prop_map(|(sid, width, rs)| Instr::StreamStore { sid, width, rs }),
+        (reg_strategy(), 0u8..8, width.clone()).prop_map(|(rd, sid, width)| Instr::StreamLoad {
+            rd,
+            sid,
+            width
+        }),
+        (0u8..8, width, reg_strategy()).prop_map(|(sid, width, rs)| Instr::StreamStore {
+            sid,
+            width,
+            rs
+        }),
         (reg_strategy(), 0u8..8).prop_map(|(rd, sid)| Instr::StreamAvail { rd, sid }),
         (reg_strategy(), 0u8..8).prop_map(|(rd, sid)| Instr::StreamEos { rd, sid }),
         (0u8..2).prop_map(|bank| Instr::BufSwap { bank }),
