@@ -1,14 +1,26 @@
 //! A fixed small benchmark sweep for tracking harness performance.
 //!
 //! Runs a handful of experiments at test scale twice — once fully serial
-//! (`with_max_threads(1)`) and once with the default thread budget — and
-//! writes per-experiment wall-clock plus a representative simulated
-//! throughput to `BENCH_perf_smoke.json`. Rerun after harness or
-//! simulator changes to see the parallel-executor speedup and catch
-//! slowdowns in the hot paths.
+//! (`with_max_threads(1)`) and once under an explicit parallel thread
+//! budget (`RAYON_NUM_THREADS`, else `std::thread::available_parallelism`)
+//! — and writes per-experiment wall-clock plus a representative simulated
+//! throughput to `BENCH_perf_smoke.json`. Both thread counts are recorded
+//! so a "speedup" of ~1.0 on a single-core box reads as what it is, not
+//! as a parallelization regression. A per-component section times the
+//! simulator's hot paths (interpreter, memory hierarchy, flash,
+//! streambuffer) in isolation, so a slowdown can be attributed before
+//! reaching for a profiler. Rerun after harness or simulator changes.
 
 use assasin_bench::experiments::{fig13, fig14, fig16};
 use assasin_bench::Scale;
+use assasin_core::{Core, CoreConfig, SyntheticEnv};
+use assasin_flash::{FlashArray, FlashGeometry, FlashTiming, PhysPageAddr};
+use assasin_kernels::{scan, AccessStyle};
+use assasin_mem::{
+    AccessKind, Dram, HierarchyConfig, MemHierarchy, ReadOutcome, StreamBuffer, StreamBufferConfig,
+};
+use assasin_sim::{SimDur, SimTime};
+use bytes::Bytes;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -24,22 +36,42 @@ struct ExperimentSample {
     simulated_gbps: f64,
 }
 
+/// One hot-path component timed in isolation.
+#[derive(Debug, Serialize)]
+struct ComponentSample {
+    /// Component name.
+    name: &'static str,
+    /// Wall-clock seconds for the fixed-size loop.
+    wall_secs: f64,
+    /// Operations performed (instructions, accesses, page reads, words).
+    ops: u64,
+    /// Millions of operations per second.
+    mops: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct PerfSmokeReport {
     /// Scale used (fixed test scale; not affected by `ASSASIN_SCALE`).
     scale: &'static str,
-    /// Thread budget of the parallel pass (`RAYON_NUM_THREADS` or cores).
+    /// Thread count of the serial pass (always 1).
+    serial_threads: usize,
+    /// Thread budget of the parallel pass (`RAYON_NUM_THREADS` if set,
+    /// else `std::thread::available_parallelism()`).
     parallel_threads: usize,
     /// Per-experiment samples with a single worker thread.
     serial: Vec<ExperimentSample>,
-    /// Per-experiment samples with the default thread budget.
+    /// Per-experiment samples with the parallel thread budget.
     parallel: Vec<ExperimentSample>,
     /// Total serial wall-clock, seconds.
     serial_total_secs: f64,
     /// Total parallel wall-clock, seconds.
     parallel_total_secs: f64,
-    /// Serial / parallel wall-clock ratio.
+    /// Serial / parallel wall-clock ratio. Meaningless (~1.0) when
+    /// `parallel_threads` is 1; see that field before reading anything
+    /// into this one.
     speedup: f64,
+    /// Isolated hot-path component timings (single-threaded).
+    components: Vec<ComponentSample>,
 }
 
 fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
@@ -82,34 +114,140 @@ fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
     samples
 }
 
+fn component(name: &'static str, ops: u64, f: impl FnOnce()) -> ComponentSample {
+    let t = Instant::now();
+    f();
+    let wall_secs = t.elapsed().as_secs_f64();
+    ComponentSample {
+        name,
+        wall_secs,
+        ops,
+        mops: ops as f64 / wall_secs.max(1e-9) / 1e6,
+    }
+}
+
+/// Times each simulator hot path in isolation with fixed-size loops.
+fn run_components() -> Vec<ComponentSample> {
+    let mut out = Vec::new();
+
+    // Interpreter: predecoded dispatch over the scan kernel on a fed
+    // stream (the per-instruction path, including streambuffer words).
+    let data = vec![0u8; 1 << 20];
+    let mut env = SyntheticEnv::new(8, 4096);
+    env.set_input(0, &data);
+    let mut core = Core::new(
+        0,
+        CoreConfig::assasin_sb(),
+        scan::program(AccessStyle::Stream),
+        None,
+    );
+    let t = Instant::now();
+    core.run_to_halt(&mut env);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let retired = core.mix().total;
+    out.push(ComponentSample {
+        name: "interpreter",
+        wall_secs,
+        ops: retired,
+        mops: retired as f64 / wall_secs.max(1e-9) / 1e6,
+    });
+
+    // Memory hierarchy: sequential single-line loads — mostly L1 hits on
+    // the try_hit fast path with a DRAM-filled miss every 16 words.
+    const HIER_OPS: u64 = 2_000_000;
+    let mut h = MemHierarchy::new(
+        HierarchyConfig::baseline(),
+        Dram::lpddr5_8gbps().into_shared(),
+    );
+    out.push(component("hierarchy", HIER_OPS, || {
+        let mut t = SimTime::ZERO;
+        for i in 0..HIER_OPS {
+            t += SimDur::from_ns(2);
+            std::hint::black_box(h.access(AccessKind::Load, 0, i * 4, 4, t));
+        }
+    }));
+
+    // Flash: page reads walking the array (timeline scheduling per read).
+    const FLASH_OPS: u64 = 200_000;
+    let geom = FlashGeometry::default();
+    let mut arr = FlashArray::new(geom, FlashTiming::default());
+    let addr = PhysPageAddr {
+        channel: 0,
+        chip: 0,
+        plane: 0,
+        block: 0,
+        page: 0,
+    };
+    arr.write_page(addr, Bytes::from(vec![0u8; 4096]), SimTime::ZERO)
+        .expect("write page");
+    out.push(component("flash", FLASH_OPS, || {
+        let mut t = SimTime::ZERO;
+        for _ in 0..FLASH_OPS {
+            t += SimDur::from_us(5);
+            std::hint::black_box(arr.read_page(addr, t).expect("read page").1);
+        }
+    }));
+
+    // Streambuffer: sequential word reads through the head-page cursor.
+    const SB_OPS: u64 = 2_000_000;
+    let mut sb = StreamBuffer::new(StreamBufferConfig::default());
+    let page = Bytes::from(vec![7u8; 4096]);
+    sb.push_page(0, page.clone(), SimTime::ZERO).expect("push");
+    out.push(component("streambuffer", SB_OPS, || {
+        for _ in 0..SB_OPS {
+            match sb.read(0, 4, SimTime::ZERO).expect("read") {
+                ReadOutcome::Data { freed_pages, .. } => {
+                    if freed_pages > 0 {
+                        sb.push_page(0, page.clone(), SimTime::ZERO).expect("push");
+                    }
+                }
+                _ => unreachable!("stream kept fed"),
+            }
+        }
+    }));
+
+    out
+}
+
 fn main() {
     let scale = Scale::test_scale();
+    let parallel_threads = assasin_parallel::current_max_threads();
 
     let t = Instant::now();
     let serial = assasin_parallel::with_max_threads(1, || run_suite(&scale));
     let serial_total_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let parallel = run_suite(&scale);
+    let parallel = assasin_parallel::with_max_threads(parallel_threads, || run_suite(&scale));
     let parallel_total_secs = t.elapsed().as_secs_f64();
+
+    let components = run_components();
 
     let report = PerfSmokeReport {
         scale: "test",
-        parallel_threads: assasin_parallel::current_max_threads(),
+        serial_threads: 1,
+        parallel_threads,
         serial,
         parallel,
         serial_total_secs,
         parallel_total_secs,
         speedup: serial_total_secs / parallel_total_secs.max(1e-9),
+        components,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_perf_smoke.json", &json).expect("write BENCH_perf_smoke.json");
     println!("{json}");
     eprintln!(
-        "perf_smoke: serial {:.2}s, parallel {:.2}s ({} threads) -> {:.2}x",
+        "perf_smoke: serial {:.2}s (1 thread), parallel {:.2}s ({} threads) -> {:.2}x",
         report.serial_total_secs,
         report.parallel_total_secs,
         report.parallel_threads,
         report.speedup
     );
+    for c in &report.components {
+        eprintln!(
+            "perf_smoke component: {:>12} {:>10} ops in {:.3}s ({:.1} Mops/s)",
+            c.name, c.ops, c.wall_secs, c.mops
+        );
+    }
 }

@@ -49,6 +49,205 @@ pub enum CoreState {
     Wedged(String),
 }
 
+/// One predecoded instruction: register fields resolved to raw indices,
+/// immediates pre-shifted/cast to their execution form, and multi-cycle
+/// ALU stalls baked in at decode, so the dispatch loop does no per-step
+/// field conversion beyond a single bounds check on the slot fetch.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Single-cycle register-register ALU operation.
+    Alu {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    /// Multi-cycle mul/div with the extra stall cycles pre-resolved from
+    /// [`CoreConfig::mul_cycles`]/[`CoreConfig::div_cycles`].
+    MulDiv {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        stall: u64,
+    },
+    AluImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: u32,
+    },
+    /// `Lui` with the `imm << 12` shift already applied.
+    Lui {
+        rd: u8,
+        imm: u32,
+    },
+    Load {
+        width: u8,
+        signed: bool,
+        rd: u8,
+        base: u8,
+        offset: u32,
+    },
+    Store {
+        width: u8,
+        rs: u8,
+        base: u8,
+        offset: u32,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    Jal {
+        rd: u8,
+        target: u32,
+    },
+    Jalr {
+        rd: u8,
+        base: u8,
+        offset: u32,
+    },
+    Halt,
+    StreamLoad {
+        rd: u8,
+        sid: u8,
+        width: u8,
+    },
+    StreamStore {
+        sid: u8,
+        width: u8,
+        rs: u8,
+    },
+    StreamAvail {
+        rd: u8,
+        sid: u8,
+    },
+    StreamEos {
+        rd: u8,
+        sid: u8,
+    },
+    BufSwap {
+        bank: u8,
+    },
+    CsrR {
+        rd: u8,
+        csr: u16,
+    },
+}
+
+/// Predecodes a program into the dense execution array the dispatch loop
+/// runs from. Purely a representation change: every slot executes exactly
+/// as the corresponding [`Instr`] did.
+fn predecode(program: &Program, cfg: &CoreConfig) -> Box<[Slot]> {
+    program
+        .instrs()
+        .iter()
+        .map(|&i| match i {
+            Instr::Alu { op, rd, rs1, rs2 } if op.is_muldiv() => {
+                let lat = if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu) {
+                    cfg.mul_cycles
+                } else {
+                    cfg.div_cycles
+                };
+                Slot::MulDiv {
+                    op,
+                    rd: rd.index(),
+                    rs1: rs1.index(),
+                    rs2: rs2.index(),
+                    stall: lat.saturating_sub(1) as u64,
+                }
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => Slot::Alu {
+                op,
+                rd: rd.index(),
+                rs1: rs1.index(),
+                rs2: rs2.index(),
+            },
+            Instr::AluImm { op, rd, rs1, imm } => Slot::AluImm {
+                op,
+                rd: rd.index(),
+                rs1: rs1.index(),
+                imm: imm as u32,
+            },
+            Instr::Lui { rd, imm } => Slot::Lui {
+                rd: rd.index(),
+                imm: imm << 12,
+            },
+            Instr::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => Slot::Load {
+                width,
+                signed,
+                rd: rd.index(),
+                base: base.index(),
+                offset: offset as u32,
+            },
+            Instr::Store {
+                width,
+                rs,
+                base,
+                offset,
+            } => Slot::Store {
+                width,
+                rs: rs.index(),
+                base: base.index(),
+                offset: offset as u32,
+            },
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Slot::Branch {
+                cond,
+                rs1: rs1.index(),
+                rs2: rs2.index(),
+                target,
+            },
+            Instr::Jal { rd, target } => Slot::Jal {
+                rd: rd.index(),
+                target,
+            },
+            Instr::Jalr { rd, base, offset } => Slot::Jalr {
+                rd: rd.index(),
+                base: base.index(),
+                offset: offset as u32,
+            },
+            Instr::Halt => Slot::Halt,
+            Instr::StreamLoad { rd, sid, width } => Slot::StreamLoad {
+                rd: rd.index(),
+                sid,
+                width,
+            },
+            Instr::StreamStore { sid, width, rs } => Slot::StreamStore {
+                sid,
+                width,
+                rs: rs.index(),
+            },
+            Instr::StreamAvail { rd, sid } => Slot::StreamAvail {
+                rd: rd.index(),
+                sid,
+            },
+            Instr::StreamEos { rd, sid } => Slot::StreamEos {
+                rd: rd.index(),
+                sid,
+            },
+            Instr::BufSwap { bank } => Slot::BufSwap { bank },
+            Instr::CsrR { rd, csr } => Slot::CsrR {
+                rd: rd.index(),
+                csr,
+            },
+        })
+        .collect()
+}
+
 /// One in-order scalar core with the Table IV memory structures attached.
 #[derive(Debug)]
 pub struct Core {
@@ -56,7 +255,8 @@ pub struct Core {
     cfg: CoreConfig,
     regs: [u32; 32],
     pc: u32,
-    program: Program,
+    /// Predecoded execution array (see [`Slot`]); `pc` indexes into it.
+    code: Box<[Slot]>,
     cycle: u64,
     state: CoreState,
     scratchpad: Scratchpad,
@@ -90,12 +290,13 @@ impl Core {
             )
         });
         let staging = (cfg.kind == EngineKind::AssasinSp).then(|| PingPong::new(cfg.staging_bytes));
+        let code = predecode(&program, &cfg);
         Core {
             id,
             cfg,
             regs: [0; 32],
             pc: 0,
-            program,
+            code,
             cycle: 0,
             state: CoreState::Running,
             scratchpad: Scratchpad::new(cfg.scratchpad_bytes as usize),
@@ -150,8 +351,14 @@ impl Core {
 
     /// Writes an architectural register (kernel launch arguments).
     pub fn set_reg(&mut self, r: assasin_isa::Reg, v: u32) {
-        if !r.is_zero() {
-            self.regs[r.index() as usize] = v;
+        self.set_reg_idx(r.index(), v);
+    }
+
+    /// Register write by predecoded index (x0 stays hardwired to zero).
+    #[inline]
+    fn set_reg_idx(&mut self, rd: u8, v: u32) {
+        if rd != 0 {
+            self.regs[rd as usize] = v;
         }
     }
 
@@ -208,6 +415,11 @@ impl Core {
     /// Converts an absolute completion time into extra stall cycles beyond
     /// the instruction's base cycle, advancing nothing.
     fn stall_cycles(&self, issue: SimTime, complete: SimTime) -> u64 {
+        // Steady-state accesses complete within the issue cycle; skip the
+        // division entirely (ceil(0) - 1 saturates to 0 anyway).
+        if complete <= issue {
+            return 0;
+        }
         let dur = complete.saturating_since(issue);
         self.cfg.clock.dur_to_cycles_ceil(dur).saturating_sub(1)
     }
@@ -221,6 +433,10 @@ impl Core {
     /// dispatch loop measurably speeds up the interpreter. Cycle counts
     /// and stall buckets stay exact per instruction (timing depends on
     /// them mid-step).
+    ///
+    /// The `CoreState` check lives only in this loop (`step_inner` assumes
+    /// a running core); the deadline is pre-converted to a cycle count so
+    /// the per-instruction bound is one integer compare.
     pub fn run(&mut self, env: &mut dyn StreamEnv, deadline: SimTime) -> &CoreState {
         let period = self.cfg.clock.period_ps();
         let cycle_limit = deadline.as_ps() / period;
@@ -248,6 +464,9 @@ impl Core {
 
     /// Executes one instruction.
     pub fn step(&mut self, env: &mut dyn StreamEnv) {
+        if self.state != CoreState::Running {
+            return;
+        }
         if self.step_inner(env) {
             self.mix.total += 1;
             self.breakdown.busy += 1;
@@ -261,14 +480,14 @@ impl Core {
         self.cfg.clock.cycle_time(SimTime::ZERO, cycle)
     }
 
-    /// Dispatches one instruction. Returns whether an instruction was
-    /// fetched (and thus retires into `mix.total` plus one base busy
-    /// cycle, which the callers account).
+    /// Dispatches one instruction from the predecoded execution array.
+    /// Returns whether an instruction was fetched (and thus retires into
+    /// `mix.total` plus one base busy cycle, which the callers account).
+    ///
+    /// Assumes the core is running — the state check is hoisted into the
+    /// [`Core::run`]/[`Core::run_to_halt`] loops and [`Core::step`].
     fn step_inner(&mut self, env: &mut dyn StreamEnv) -> bool {
-        if self.state != CoreState::Running {
-            return false;
-        }
-        let Some(instr) = self.program.fetch(self.pc) else {
+        let Some(&slot) = self.code.get(self.pc as usize) else {
             self.wedge("pc past end of program".into());
             return false;
         };
@@ -277,35 +496,39 @@ impl Core {
         // Base cost: one cycle, charged up front; stalls add on top.
         self.cycle += 1;
 
-        match instr {
-            Instr::Alu { op, rd, rs1, rs2 } => {
-                let a = self.regs[rs1.index() as usize];
-                let b = self.regs[rs2.index() as usize];
+        match slot {
+            Slot::Alu { op, rd, rs1, rs2 } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
                 let v = alu_eval(op, a, b);
-                self.set_reg(rd, v);
-                if op.is_muldiv() {
-                    self.mix.muldiv += 1;
-                    let lat = if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu) {
-                        self.cfg.mul_cycles
-                    } else {
-                        self.cfg.div_cycles
-                    };
-                    self.charge(lat.saturating_sub(1) as u64, |b| &mut b.busy);
-                } else {
-                    self.mix.alu += 1;
-                }
-            }
-            Instr::AluImm { op, rd, rs1, imm } => {
-                let a = self.regs[rs1.index() as usize];
-                let v = alu_eval(op, a, imm as u32);
-                self.set_reg(rd, v);
+                self.set_reg_idx(rd, v);
                 self.mix.alu += 1;
             }
-            Instr::Lui { rd, imm } => {
-                self.set_reg(rd, imm << 12);
+            Slot::MulDiv {
+                op,
+                rd,
+                rs1,
+                rs2,
+                stall,
+            } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let v = alu_eval(op, a, b);
+                self.set_reg_idx(rd, v);
+                self.mix.muldiv += 1;
+                self.charge(stall, |b| &mut b.busy);
+            }
+            Slot::AluImm { op, rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                let v = alu_eval(op, a, imm);
+                self.set_reg_idx(rd, v);
                 self.mix.alu += 1;
             }
-            Instr::Load {
+            Slot::Lui { rd, imm } => {
+                self.set_reg_idx(rd, imm);
+                self.mix.alu += 1;
+            }
+            Slot::Load {
                 width,
                 signed,
                 rd,
@@ -313,7 +536,7 @@ impl Core {
                 offset,
             } => {
                 self.mix.loads += 1;
-                let addr = self.regs[base.index() as usize].wrapping_add(offset as u32) as u64;
+                let addr = self.regs[base as usize].wrapping_add(offset) as u64;
                 match self.mem_load(addr, width as u32, self.issue_at(issue_cycle)) {
                     Ok(raw) => {
                         let v = if signed {
@@ -321,7 +544,7 @@ impl Core {
                         } else {
                             raw
                         };
-                        self.set_reg(rd, v);
+                        self.set_reg_idx(rd, v);
                     }
                     Err(msg) => {
                         self.wedge(msg);
@@ -329,15 +552,15 @@ impl Core {
                     }
                 }
             }
-            Instr::Store {
+            Slot::Store {
                 width,
                 rs,
                 base,
                 offset,
             } => {
                 self.mix.stores += 1;
-                let addr = self.regs[base.index() as usize].wrapping_add(offset as u32) as u64;
-                let value = self.regs[rs.index() as usize];
+                let addr = self.regs[base as usize].wrapping_add(offset) as u64;
+                let value = self.regs[rs as usize];
                 if let Err(msg) =
                     self.mem_store(addr, width as u32, value, self.issue_at(issue_cycle))
                 {
@@ -345,42 +568,42 @@ impl Core {
                     return true;
                 }
             }
-            Instr::Branch {
+            Slot::Branch {
                 cond,
                 rs1,
                 rs2,
                 target,
             } => {
                 self.mix.branches += 1;
-                let a = self.regs[rs1.index() as usize];
-                let b = self.regs[rs2.index() as usize];
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
                 if branch_eval(cond, a, b) {
                     self.mix.taken += 1;
                     next_pc = target;
                     self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
                 }
             }
-            Instr::Jal { rd, target } => {
+            Slot::Jal { rd, target } => {
                 self.mix.jumps += 1;
-                self.set_reg(rd, self.pc + 1);
+                self.set_reg_idx(rd, self.pc + 1);
                 next_pc = target;
                 self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
             }
-            Instr::Jalr { rd, base, offset } => {
+            Slot::Jalr { rd, base, offset } => {
                 self.mix.jumps += 1;
-                let t = self.regs[base.index() as usize].wrapping_add(offset as u32);
-                self.set_reg(rd, self.pc + 1);
+                let t = self.regs[base as usize].wrapping_add(offset);
+                self.set_reg_idx(rd, self.pc + 1);
                 next_pc = t;
                 self.charge(self.cfg.branch_penalty as u64, |b| &mut b.busy);
             }
-            Instr::Halt => {
+            Slot::Halt => {
                 self.state = CoreState::Halted;
                 return true;
             }
-            Instr::StreamLoad { rd, sid, width } => {
+            Slot::StreamLoad { rd, sid, width } => {
                 self.mix.stream_loads += 1;
                 match self.stream_load(env, sid as u32, width as u32, self.issue_at(issue_cycle)) {
-                    Ok(Some(v)) => self.set_reg(rd, v),
+                    Ok(Some(v)) => self.set_reg_idx(rd, v),
                     Ok(None) => return true, // halted on exhausted stream
                     Err(msg) => {
                         self.wedge(msg);
@@ -388,9 +611,9 @@ impl Core {
                     }
                 }
             }
-            Instr::StreamStore { sid, width, rs } => {
+            Slot::StreamStore { sid, width, rs } => {
                 self.mix.stream_stores += 1;
-                let value = self.regs[rs.index() as usize];
+                let value = self.regs[rs as usize];
                 if let Err(msg) = self.stream_store(
                     env,
                     sid as u32,
@@ -402,7 +625,7 @@ impl Core {
                     return true;
                 }
             }
-            Instr::StreamAvail { rd, sid } => {
+            Slot::StreamAvail { rd, sid } => {
                 env.refill_stream(
                     self.id,
                     sid as u32,
@@ -413,9 +636,9 @@ impl Core {
                     .sbuf
                     .in_bytes_available(sid as u32)
                     .min(u32::MAX as u64);
-                self.set_reg(rd, avail as u32);
+                self.set_reg_idx(rd, avail as u32);
             }
-            Instr::StreamEos { rd, sid } => {
+            Slot::StreamEos { rd, sid } => {
                 env.refill_stream(
                     self.id,
                     sid as u32,
@@ -423,17 +646,17 @@ impl Core {
                     &mut self.sbuf,
                 );
                 let eos = self.sbuf.is_exhausted(sid as u32);
-                self.set_reg(rd, eos as u32);
+                self.set_reg_idx(rd, eos as u32);
             }
-            Instr::BufSwap { bank } => {
+            Slot::BufSwap { bank } => {
                 if let Err(msg) = self.buf_swap(env, bank, self.issue_at(issue_cycle)) {
                     self.wedge(msg);
                     return true;
                 }
             }
-            Instr::CsrR { rd, csr: num } => {
+            Slot::CsrR { rd, csr: num } => {
                 let v = self.read_csr(num);
-                self.set_reg(rd, v);
+                self.set_reg_idx(rd, v);
             }
         }
         self.pc = next_pc;

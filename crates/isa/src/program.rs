@@ -29,6 +29,12 @@ impl Program {
         self.instrs.get(pc as usize).copied()
     }
 
+    /// The whole resolved instruction sequence. Interpreters predecode
+    /// from this slice once instead of `fetch`ing per step.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instrs.len()

@@ -37,9 +37,19 @@ impl CacheGeometry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     tag: u64,
+    valid: bool,
     dirty: bool,
     /// LRU stamp; larger = more recently used.
     stamp: u64,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        stamp: 0,
+    };
 }
 
 /// Result of one cache lookup.
@@ -56,10 +66,28 @@ pub struct LookupResult {
 ///
 /// Purely functional state (tags + LRU); timing lives in
 /// [`MemHierarchy`](crate::MemHierarchy).
+///
+/// Storage is one flat boxed slice (set-major, `ways` contiguous slots
+/// per set) with the set index/tag split precomputed at construction, and
+/// a per-set MRU-way predictor so the common repeated-line hit touches a
+/// single slot instead of scanning the set. Replacement behavior is
+/// observably identical to the textbook `Vec<Vec<Line>>` formulation
+/// (ticks are unique, so the LRU victim is unambiguous); a property test
+/// in `tests/cache_equivalence.rs` pins that equivalence.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<Vec<Line>>,
+    /// All lines, set-major: set `s` occupies `s*ways .. (s+1)*ways`.
+    lines: Box<[Line]>,
+    /// Per-set way index of the last hit (the MRU-way predictor).
+    mru: Box<[u32]>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `(mask, shift)` when the set count is a power of two; the general
+    /// div/mod split otherwise.
+    set_split: Option<(u64, u32)>,
+    ways: u32,
+    sets: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -78,9 +106,17 @@ impl Cache {
         );
         let sets = geom.sets();
         assert!(sets > 0, "cache must have at least one set");
+        let set_split = sets
+            .is_power_of_two()
+            .then(|| (sets as u64 - 1, sets.trailing_zeros()));
         Cache {
             geom,
-            sets: vec![Vec::new(); sets as usize],
+            lines: vec![Line::EMPTY; (sets * geom.ways) as usize].into_boxed_slice(),
+            mru: vec![0u32; sets as usize].into_boxed_slice(),
+            line_shift: geom.line_bytes.trailing_zeros(),
+            set_split,
+            ways: geom.ways,
+            sets,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -92,11 +128,13 @@ impl Cache {
         self.geom
     }
 
+    #[inline]
     fn split(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.geom.line_bytes as u64;
-        let set = (line % self.geom.sets() as u64) as usize;
-        let tag = line / self.geom.sets() as u64;
-        (set, tag)
+        let line = addr >> self.line_shift;
+        match self.set_split {
+            Some((mask, shift)) => ((line & mask) as usize, line >> shift),
+            None => ((line % self.sets as u64) as usize, line / self.sets as u64),
+        }
     }
 
     /// Line-aligned base address for `addr`.
@@ -104,53 +142,115 @@ impl Cache {
         addr & !(self.geom.line_bytes as u64 - 1)
     }
 
+    /// Reconstructs the line-aligned address of `(set, tag)`.
+    #[inline]
+    fn unsplit(&self, set_idx: usize, tag: u64) -> u64 {
+        let line_no = tag * self.sets as u64 + set_idx as u64;
+        line_no << self.line_shift
+    }
+
     /// Looks up `addr`; on miss, allocates the line (write-allocate),
     /// evicting LRU if the set is full. `write` marks the line dirty.
     pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
         self.tick += 1;
         let (set_idx, tag) = self.split(addr);
-        let ways = self.geom.ways as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.stamp = self.tick;
-            line.dirty |= write;
+        let base = set_idx * self.ways as usize;
+        let set = &mut self.lines[base..base + self.ways as usize];
+        // MRU-way fast path: repeated hits to the same line skip the scan.
+        let mru = self.mru[set_idx] as usize;
+        if set[mru].valid && set[mru].tag == tag {
+            set[mru].stamp = self.tick;
+            set[mru].dirty |= write;
             self.hits += 1;
             return LookupResult {
                 hit: true,
                 writeback: None,
             };
         }
-        self.misses += 1;
-        let mut writeback = None;
-        if set.len() >= ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
-                .map(|(i, _)| i)
-                .expect("full set has a victim");
-            let victim = set.swap_remove(victim_idx);
-            if victim.dirty {
-                let line_no = victim.tag * self.geom.sets() as u64 + set_idx as u64;
-                writeback = Some(line_no * self.geom.line_bytes as u64);
-            }
+        if let Some(w) = set.iter().position(|l| l.valid && l.tag == tag) {
+            set[w].stamp = self.tick;
+            set[w].dirty |= write;
+            self.hits += 1;
+            self.mru[set_idx] = w as u32;
+            return LookupResult {
+                hit: true,
+                writeback: None,
+            };
         }
-        set.push(Line {
+        self.misses += 1;
+        let (victim_way, writeback) = self.evict_slot(set_idx);
+        self.lines[base + victim_way] = Line {
             tag,
+            valid: true,
             dirty: write,
             stamp: self.tick,
-        });
+        };
+        self.mru[set_idx] = victim_way as u32;
         LookupResult {
             hit: false,
             writeback,
         }
     }
 
+    /// A hit-only lookup for the hierarchy's L1 fast path: on hit the LRU
+    /// stamp, dirty bit and hit counter update exactly as [`Cache::access`]
+    /// would; on miss *nothing* changes (no tick, no miss count) so the
+    /// caller can fall back to the full `access` path and end up with the
+    /// identical per-access state transition.
+    #[inline]
+    pub fn try_hit(&mut self, addr: u64, write: bool) -> bool {
+        let (set_idx, tag) = self.split(addr);
+        let base = set_idx * self.ways as usize;
+        let set = &mut self.lines[base..base + self.ways as usize];
+        let mru = self.mru[set_idx] as usize;
+        if set[mru].valid && set[mru].tag == tag {
+            self.tick += 1;
+            set[mru].stamp = self.tick;
+            set[mru].dirty |= write;
+            self.hits += 1;
+            return true;
+        }
+        if let Some(w) = set.iter().position(|l| l.valid && l.tag == tag) {
+            self.tick += 1;
+            set[w].stamp = self.tick;
+            set[w].dirty |= write;
+            self.hits += 1;
+            self.mru[set_idx] = w as u32;
+            return true;
+        }
+        false
+    }
+
+    /// Picks the slot a new line lands in: an invalid way if one exists,
+    /// else the LRU victim (unique minimal stamp). Returns the way index
+    /// and the writeback address if the victim was dirty.
+    fn evict_slot(&mut self, set_idx: usize) -> (usize, Option<u64>) {
+        let base = set_idx * self.ways as usize;
+        let set = &self.lines[base..base + self.ways as usize];
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (w, l) in set.iter().enumerate() {
+            if !l.valid {
+                return (w, None);
+            }
+            if l.stamp < best {
+                best = l.stamp;
+                victim = w;
+            }
+        }
+        let v = set[victim];
+        let writeback = v.dirty.then(|| self.unsplit(set_idx, v.tag));
+        (victim, writeback)
+    }
+
     /// Checks presence without disturbing LRU or counters (for prefetch
     /// filtering).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.split(addr);
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        let base = set_idx * self.ways as usize;
+        self.lines[base..base + self.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Installs a line without counting a demand miss (prefetch fill).
@@ -161,30 +261,14 @@ impl Cache {
         }
         self.tick += 1;
         let (set_idx, tag) = self.split(addr);
-        let ways = self.geom.ways as usize;
-        let sets_count = self.geom.sets() as u64;
-        let line_bytes = self.geom.line_bytes as u64;
-        let tick = self.tick;
-        let set = &mut self.sets[set_idx];
-        let mut writeback = None;
-        if set.len() >= ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
-                .map(|(i, _)| i)
-                .expect("full set has a victim");
-            let victim = set.swap_remove(victim_idx);
-            if victim.dirty {
-                let line_no = victim.tag * sets_count + set_idx as u64;
-                writeback = Some(line_no * line_bytes);
-            }
-        }
-        set.push(Line {
+        let (way, writeback) = self.evict_slot(set_idx);
+        let base = set_idx * self.ways as usize;
+        self.lines[base + way] = Line {
             tag,
+            valid: true,
             dirty: false,
-            stamp: tick,
-        });
+            stamp: self.tick,
+        };
         writeback
     }
 

@@ -100,6 +100,10 @@ pub struct MemHierarchy {
     line_bytes: u32,
     /// Demand traffic brought in from DRAM, in bytes.
     dram_fill_bytes: u64,
+    /// `dram.latency() * mlp_latency_factor`, precomputed — the DRAM
+    /// latency is fixed at construction, so the per-miss float round-trip
+    /// is paid once here instead of on every fill.
+    exposed_dram_latency: SimDur,
 }
 
 impl MemHierarchy {
@@ -109,6 +113,8 @@ impl MemHierarchy {
     /// Builds the hierarchy over the shared DRAM.
     pub fn new(cfg: HierarchyConfig, dram: SharedDram) -> Self {
         let line_bytes = cfg.l1.or(cfg.l2).map(|g| g.line_bytes).unwrap_or(64);
+        let exposed_dram_latency =
+            SimDur::from_secs_f64(dram.borrow().latency().as_secs_f64() * cfg.mlp_latency_factor);
         MemHierarchy {
             l1: cfg.l1.map(Cache::new),
             l2: cfg.l2.map(Cache::new),
@@ -122,6 +128,7 @@ impl MemHierarchy {
             inflight_pf: HashMap::new(),
             line_bytes,
             dram_fill_bytes: 0,
+            exposed_dram_latency,
         }
     }
 
@@ -141,6 +148,21 @@ impl MemHierarchy {
     ) -> (SimTime, ServedBy) {
         let first_line = addr & !(self.line_bytes as u64 - 1);
         let last_line = (addr + bytes.max(1) as u64 - 1) & !(self.line_bytes as u64 - 1);
+        // Fast path: a single-line access that hits L1 changes nothing
+        // besides the line's LRU stamp/dirty bit and the hit counter —
+        // skip the per-line loop, writeback plumbing and prefetch-table
+        // lookups. `try_hit` mutates nothing on miss, so falling through
+        // to the general path below replays the identical state machine.
+        if first_line == last_line {
+            if let Some(l1) = &mut self.l1 {
+                if l1.try_hit(first_line, matches!(kind, AccessKind::Store)) {
+                    if self.prefetcher.is_some() {
+                        self.train_prefetcher(pc, addr, ready);
+                    }
+                    return (ready + self.cfg.l1_hit, ServedBy::L1);
+                }
+            }
+        }
         let mut complete = ready;
         let mut served = ServedBy::L1;
         let mut line = first_line;
@@ -208,12 +230,8 @@ impl MemHierarchy {
         self.dram_fill_bytes += fill;
         let done = match kind {
             AccessKind::Load => {
-                let mut dram = self.dram.borrow_mut();
-                let bus = dram.post(ready, fill);
-                let exposed = SimDur::from_secs_f64(
-                    dram.latency().as_secs_f64() * self.cfg.mlp_latency_factor,
-                );
-                bus + exposed
+                let bus = self.dram.borrow_mut().post(ready, fill);
+                bus + self.exposed_dram_latency
             }
             // Store misses fetch the line for ownership but retire through
             // the store buffer: traffic yes, stall no.
@@ -243,12 +261,8 @@ impl MemHierarchy {
             let fill = self.line_bytes as u64 * self.cfg.fill_bytes_factor as u64;
             self.dram_fill_bytes += fill;
             let ready = {
-                let mut dram = self.dram.borrow_mut();
-                let bus = dram.post(now, fill);
-                let exposed = SimDur::from_secs_f64(
-                    dram.latency().as_secs_f64() * self.cfg.mlp_latency_factor,
-                );
-                bus + exposed
+                let bus = self.dram.borrow_mut().post(now, fill);
+                bus + self.exposed_dram_latency
             };
             self.inflight_pf.insert(line, ready);
         }

@@ -223,6 +223,36 @@ impl StreamBuffer {
         if !matches!(width, 1 | 2 | 4 | 8) {
             return Err(MemError::BadWidth(width));
         }
+        let s = self
+            .ins
+            .get_mut(sid as usize)
+            .ok_or(MemError::BadStream(sid))?;
+        // Fast path: the whole word sits in the head page. Sequential
+        // word-at-a-time streaming (the common `StreamLoad` pattern) never
+        // re-walks the page queue or re-derives availability — one cursor
+        // bump against the cached head page per word.
+        if let Some(page) = s.queue.front_mut() {
+            let w = width as usize;
+            if page.data.len() - page.offset >= w {
+                let mut value = [0u8; 8];
+                value[..w].copy_from_slice(&page.data[page.offset..page.offset + w]);
+                let ready = now.max(page.avail);
+                page.offset += w;
+                let freed_pages = if page.offset == page.data.len() {
+                    s.queue.pop_front();
+                    1
+                } else {
+                    0
+                };
+                s.head += width as u64;
+                self.bytes_in += width as u64;
+                return Ok(ReadOutcome::Data {
+                    value: u64::from_le_bytes(value),
+                    ready,
+                    freed_pages,
+                });
+            }
+        }
         let available = self.in_bytes_available(sid);
         let s = self.in_stream(sid)?;
         if available < width as u64 {
@@ -284,6 +314,19 @@ impl StreamBuffer {
         let page_bytes = self.cfg.page_bytes as usize;
         let pages = self.cfg.pages_per_stream as usize;
         let s = self.out_stream(sid)?;
+        // Fast path: the page under assembly was already slot-checked when
+        // its first word landed, and this word does not complete it — no
+        // ring-slot reclaim, no completion handoff, just the cursor bump.
+        if !s.current.is_empty() && s.current.len() + (width as usize) < page_bytes {
+            s.current
+                .extend_from_slice(&value.to_le_bytes()[..width as usize]);
+            s.tail += width as u64;
+            self.bytes_out += width as u64;
+            return Ok(WriteOutcome {
+                ready: now,
+                completed_page: None,
+            });
+        }
         let mut ready = now;
         // Starting a fresh page requires a free ring slot; reclaim drained
         // slots, then stall on the oldest drain if all are pending.

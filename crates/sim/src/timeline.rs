@@ -113,11 +113,18 @@ impl Timeline {
     /// The slow path: scans for the earliest idle gap that fits, inserts,
     /// and merges touching neighbors. Returns the service start.
     fn place_earliest_fit(&mut self, ready_ps: u64, need: u64) -> u64 {
+        // Intervals ending strictly before `ready` can neither host the
+        // insertion point (their start is below `ready`) nor push `start`
+        // forward (`max(e)` is a no-op), so skip them wholesale. The
+        // deque is sorted, which makes that a binary search — the scan
+        // then touches only the few intervals near the request, instead
+        // of walking the whole booked window from its oldest entry.
+        let first = self.intervals.partition_point(|&(_, e)| e < ready_ps);
         let mut start = ready_ps;
         let mut insert_at = self.intervals.len();
-        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+        for (i, &(s, e)) in self.intervals.range(first..).enumerate() {
             if start + need <= s {
-                insert_at = i;
+                insert_at = first + i;
                 break;
             }
             start = start.max(e);

@@ -1,0 +1,79 @@
+//! Property test pinning [`Timeline`]'s binary-searched earliest-fit
+//! placement to the original full-scan formulation.
+//!
+//! The reference model below replays the pre-optimization algorithm: an
+//! earliest-fit scan that walks every booked interval from the oldest.
+//! The shipped implementation skips intervals that end before the request
+//! is ready (a binary search, since the schedule is sorted); both must
+//! hand out identical grants and converge to identical schedules on any
+//! request trace, including the out-of-time-order arrivals the bounded
+//! epoch co-simulation produces.
+
+use assasin_sim::{SimDur, SimTime, Timeline};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The pre-optimization earliest-fit schedule (no prune, so traces are
+/// kept short enough that pruning never engages in the real Timeline
+/// either — requests stay inside `Timeline::PRUNE_WINDOW`).
+#[derive(Default)]
+struct RefSchedule {
+    intervals: Vec<(u64, u64)>,
+}
+
+impl RefSchedule {
+    /// Returns `(start, end)` of the granted slot.
+    fn acquire(&mut self, ready_ps: u64, need: u64) -> (u64, u64) {
+        let mut start = ready_ps;
+        let mut insert_at = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if start + need <= s {
+                insert_at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        self.intervals.insert(insert_at, (start, start + need));
+        if insert_at + 1 < self.intervals.len()
+            && self.intervals[insert_at].1 == self.intervals[insert_at + 1].0
+        {
+            let (_, e2) = self.intervals.remove(insert_at + 1);
+            self.intervals[insert_at].1 = e2;
+        }
+        if insert_at > 0 && self.intervals[insert_at - 1].1 == self.intervals[insert_at].0 {
+            let (_, e2) = self.intervals.remove(insert_at);
+            self.intervals[insert_at - 1].1 = e2;
+        }
+        (start, start + need)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn binary_searched_placement_matches_full_scan(
+        // Ready times jump around (out-of-order arrivals) while staying
+        // far inside the 10 ms prune window; service lengths include zero.
+        reqs in vec((0u64..200_000, 0u64..500), 1..200),
+    ) {
+        let mut timeline = Timeline::new("t");
+        let mut reference = RefSchedule::default();
+        for (i, &(ready_ps, need)) in reqs.iter().enumerate() {
+            let g = timeline.acquire(SimTime::from_ps(ready_ps), SimDur::from_ps(need));
+            let (start, end) = reference.acquire(ready_ps, need);
+            prop_assert_eq!(
+                g.start, SimTime::from_ps(start),
+                "req {}: start mismatch (ready {} need {})", i, ready_ps, need
+            );
+            prop_assert_eq!(
+                g.end, SimTime::from_ps(end),
+                "req {}: end mismatch (ready {} need {})", i, ready_ps, need
+            );
+        }
+        let got: Vec<(u64, u64)> = timeline
+            .busy_intervals()
+            .map(|(s, e)| (s.as_ps(), e.as_ps()))
+            .collect();
+        prop_assert_eq!(got, reference.intervals);
+    }
+}
