@@ -1,0 +1,103 @@
+//! CI regression gate over `BENCH_perf_smoke.json`.
+//!
+//! Compares a freshly generated perf-smoke report against a committed
+//! baseline and fails (exit 1) when any isolated component's throughput
+//! drops, or any serial experiment's wall time grows, by more than the
+//! threshold (default 20%, override with `ASSASIN_PERF_GATE_PCT`).
+//!
+//! ```text
+//! perf_gate <baseline.json> [fresh.json]    # fresh defaults to BENCH_perf_smoke.json
+//! ```
+//!
+//! Only serial wall times are gated: the parallel pass depends on the
+//! runner's core count, and component loops are single-threaded already.
+//! Wall-clock on shared CI runners is noisy, which is why the default
+//! threshold is a generous 20% — the gate exists to catch order-of-
+//! magnitude mistakes (an accidental `O(n^2)`, a debug assert in the hot
+//! path), not single-digit drift.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn threshold_pct() -> f64 {
+    std::env::var("ASSASIN_PERF_GATE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20.0)
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_gate: bad JSON in {path}: {e}"))
+}
+
+/// `name -> metric` for an array of `{name, ...}` objects.
+fn metrics(report: &Value, section: &str, field: &str) -> Vec<(String, f64)> {
+    report[section]
+        .as_array()
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| Some((row["name"].as_str()?.to_string(), row[field].as_f64()?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: perf_gate <baseline.json> [fresh.json]");
+        std::process::exit(2);
+    });
+    let fresh_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_perf_smoke.json".to_string());
+    let pct = threshold_pct();
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let mut failures = Vec::new();
+
+    // Component throughput must not drop by more than the threshold.
+    let fresh_mops = metrics(&fresh, "components", "mops");
+    for (name, base) in metrics(&baseline, "components", "mops") {
+        let Some(&(_, now)) = fresh_mops.iter().find(|(n, _)| *n == name) else {
+            failures.push(format!("component {name}: missing from fresh report"));
+            continue;
+        };
+        let change = (now - base) / base * 100.0;
+        println!("component {name:>14}: {base:9.1} -> {now:9.1} Mops ({change:+.1}%)");
+        if change < -pct {
+            failures.push(format!(
+                "component {name}: {base:.1} -> {now:.1} Mops ({change:+.1}%, limit -{pct}%)"
+            ));
+        }
+    }
+
+    // Serial experiment wall time must not grow by more than the threshold.
+    let fresh_wall = metrics(&fresh, "serial", "wall_secs");
+    for (name, base) in metrics(&baseline, "serial", "wall_secs") {
+        let Some(&(_, now)) = fresh_wall.iter().find(|(n, _)| *n == name) else {
+            failures.push(format!("experiment {name}: missing from fresh report"));
+            continue;
+        };
+        let change = (now - base) / base * 100.0;
+        println!("experiment {name:>13}: {base:9.3} -> {now:9.3} s    ({change:+.1}%)");
+        if change > pct {
+            failures.push(format!(
+                "experiment {name}: {base:.3}s -> {now:.3}s ({change:+.1}%, limit +{pct}%)"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf_gate: OK (threshold {pct}%)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf_gate FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -34,6 +34,10 @@ struct ExperimentSample {
     /// Representative simulated throughput from the report, GB/s
     /// (AssasinSb where the experiment sweeps engines).
     simulated_gbps: f64,
+    /// Co-simulation rounds executed across all `scomp` calls of the run.
+    cosim_rounds: u64,
+    /// Fixed-epoch rounds the event-driven deadline jumps skipped.
+    epochs_skipped: u64,
 }
 
 /// One hot-path component timed in isolation.
@@ -81,10 +85,18 @@ fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
         .map_or(0.0, |e| e.gbps)
 }
 
+/// Snapshot-delta of the process-wide co-sim counters around a run.
+fn with_cosim_counters<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (r0, s0) = assasin_ssd::cosim_counters();
+    let out = f();
+    let (r1, s1) = assasin_ssd::cosim_counters();
+    (out, r1 - r0, s1 - s0)
+}
+
 fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
     let mut samples = Vec::new();
     let t = Instant::now();
-    let f13 = fig13::run_with(scale, false);
+    let (f13, rounds, skipped) = with_cosim_counters(|| fig13::run_with(scale, false));
     samples.push(ExperimentSample {
         name: "fig13",
         wall_secs: t.elapsed().as_secs_f64(),
@@ -92,9 +104,11 @@ fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
             .functions
             .first()
             .map_or(0.0, |row| sb_gbps(&row.entries)),
+        cosim_rounds: rounds,
+        epochs_skipped: skipped,
     });
     let t = Instant::now();
-    let f14 = fig14::run_with(scale, false);
+    let (f14, rounds, skipped) = with_cosim_counters(|| fig14::run_with(scale, false));
     samples.push(ExperimentSample {
         name: "fig14",
         wall_secs: t.elapsed().as_secs_f64(),
@@ -103,13 +117,17 @@ fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
             .iter()
             .find(|e| e.engine == "AssasinSb")
             .map_or(0.0, |e| e.gbps),
+        cosim_rounds: rounds,
+        epochs_skipped: skipped,
     });
     let t = Instant::now();
-    let f16 = fig16::run(scale);
+    let (f16, rounds, skipped) = with_cosim_counters(|| fig16::run(scale));
     samples.push(ExperimentSample {
         name: "fig16",
         wall_secs: t.elapsed().as_secs_f64(),
         simulated_gbps: f16.points.last().map_or(0.0, |p| p.gbps),
+        cosim_rounds: rounds,
+        epochs_skipped: skipped,
     });
     samples
 }

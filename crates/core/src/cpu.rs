@@ -49,6 +49,21 @@ pub enum CoreState {
     Wedged(String),
 }
 
+/// Why [`Core::run`] returned: the information an event-driven scheduler
+/// needs to pick the next deadline without polling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The core halted (explicit `halt`, or exhausted input stream).
+    Halted,
+    /// The core hit an unrecoverable model error; the message is in
+    /// [`Core::state`].
+    Wedged,
+    /// The deadline was reached mid-execution. The core cannot retire its
+    /// next instruction before the contained time (the boundary of the
+    /// first cycle past the deadline), so any deadline below it is a no-op.
+    BlockedUntil(SimTime),
+}
+
 /// One predecoded instruction: register fields resolved to raw indices,
 /// immediates pre-shifted/cast to their execution form, and multi-cycle
 /// ALU stalls baked in at decode, so the dispatch loop does no per-step
@@ -329,6 +344,11 @@ impl Core {
         self.cycle
     }
 
+    /// Current program counter (instruction index), for hang diagnostics.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
     /// Instructions retired.
     pub fn mix(&self) -> &InstrMix {
         &self.mix
@@ -425,7 +445,9 @@ impl Core {
     }
 
     /// Runs until `deadline` (exclusive) or until the core stops. Returns
-    /// the state afterwards.
+    /// *why* it stopped; a still-running core reports the earliest time a
+    /// larger deadline could make it retire another instruction, which the
+    /// SSD's event-driven scheduler uses to skip dead epochs.
     ///
     /// The unconditional per-instruction counters (`mix.total`, the base
     /// busy cycle) are accumulated locally and flushed once per call —
@@ -437,7 +459,7 @@ impl Core {
     /// The `CoreState` check lives only in this loop (`step_inner` assumes
     /// a running core); the deadline is pre-converted to a cycle count so
     /// the per-instruction bound is one integer compare.
-    pub fn run(&mut self, env: &mut dyn StreamEnv, deadline: SimTime) -> &CoreState {
+    pub fn run(&mut self, env: &mut dyn StreamEnv, deadline: SimTime) -> RunOutcome {
         let period = self.cfg.clock.period_ps();
         let cycle_limit = deadline.as_ps() / period;
         let mut retired = 0u64;
@@ -446,7 +468,17 @@ impl Core {
         }
         self.mix.total += retired;
         self.breakdown.busy += retired;
-        &self.state
+        match self.state {
+            CoreState::Running => {
+                // Stalls are charged eagerly (the local clock jumps past
+                // them), so the next instruction retires in cycle
+                // `self.cycle` — observable once the deadline covers the
+                // end of that cycle.
+                RunOutcome::BlockedUntil(SimTime::from_ps((self.cycle + 1) * period))
+            }
+            CoreState::Halted => RunOutcome::Halted,
+            CoreState::Wedged(_) => RunOutcome::Wedged,
+        }
     }
 
     /// Runs to completion (no deadline). Mostly for tests; the SSD uses

@@ -29,7 +29,7 @@ mod regions;
 mod udp;
 
 pub use config::{CoreConfig, EngineKind};
-pub use cpu::{Core, CoreState, InstrMix};
+pub use cpu::{Core, CoreState, InstrMix, RunOutcome};
 pub use env::{NullEnv, StreamEnv, SyntheticEnv};
 pub use regions::{layout, DramWindow, PingPong};
 pub use udp::{KernelProfile, UdpLane};

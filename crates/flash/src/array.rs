@@ -37,6 +37,10 @@ struct Channel {
 pub struct FlashArray {
     geom: FlashGeometry,
     timing: FlashTiming,
+    /// Bus time for one full page, precomputed from `timing` — every page
+    /// op pays this, and recomputing it per page (a float division) was
+    /// measurable in plan scheduling.
+    page_xfer: SimDur,
     channels: Vec<Channel>,
 }
 
@@ -47,7 +51,7 @@ impl FlashArray {
             .map(|ch| Channel {
                 bus: Timeline::new(format!("channel-{ch}")),
                 chips: (0..geom.chips_per_channel)
-                    .map(|c| FlashChip::new(ch, c))
+                    .map(|c| FlashChip::new(&geom, ch, c))
                     .collect(),
                 stats: ChannelStats::default(),
             })
@@ -55,6 +59,7 @@ impl FlashArray {
         FlashArray {
             geom,
             timing,
+            page_xfer: timing.transfer_time(geom.page_bytes),
             channels,
         }
     }
@@ -67,6 +72,11 @@ impl FlashArray {
     /// The configured timing.
     pub fn timing(&self) -> &FlashTiming {
         &self.timing
+    }
+
+    /// Channel-bus occupancy of one full page transfer (precomputed).
+    pub fn page_transfer_time(&self) -> SimDur {
+        self.page_xfer
     }
 
     fn check(&self, addr: PhysPageAddr) -> Result<(), FlashError> {
@@ -103,7 +113,7 @@ impl FlashArray {
         self.check(addr)?;
         let page_bytes = self.geom.page_bytes;
         let t_read = self.timing.t_read;
-        let xfer = self.timing.transfer_time(page_bytes);
+        let xfer = self.page_xfer;
         let channel = &mut self.channels[addr.channel as usize];
         let (data, sensed) =
             channel.chips[addr.chip as usize].sense(&self.geom, addr, ready, t_read)?;
@@ -145,7 +155,7 @@ impl FlashArray {
         ready: SimTime,
     ) -> Result<(SimTime, SimTime), FlashError> {
         self.check(addr)?;
-        let xfer = self.timing.transfer_time(self.geom.page_bytes);
+        let xfer = self.page_xfer;
         let t_prog = self.timing.t_prog;
         let page_bytes = self.geom.page_bytes;
         let channel = &mut self.channels[addr.channel as usize];

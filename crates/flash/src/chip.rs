@@ -3,7 +3,6 @@
 use crate::{FlashError, FlashGeometry, PhysPageAddr};
 use assasin_sim::{SimDur, SimTime, Timeline};
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// One flash chip (logical die): stores page contents and models the chip's
 /// busy time for sense/program/erase operations.
@@ -11,10 +10,20 @@ use std::collections::HashMap;
 /// Pages are stored sparsely; an unprogrammed page reads back as an error,
 /// matching NAND semantics where a page must be programmed after erase
 /// before it holds data.
+///
+/// The store is a two-level array — an outer slot per block (allocated on
+/// first program) holding one `Option<Bytes>` slot per page — so a sense is
+/// two bounds-checked indexes rather than a hash. Plan scheduling senses
+/// every input page of a run up front, which made the hash the hottest part
+/// of the flash model.
 #[derive(Debug, Clone)]
 pub struct FlashChip {
-    /// Page contents, keyed by page index linear within this chip.
-    pages: HashMap<u64, Bytes>,
+    /// Page contents: outer index `plane * blocks_per_plane + block`,
+    /// inner index the page within the block.
+    blocks: Vec<Option<Box<[Option<Bytes>]>>>,
+    pages_per_block: usize,
+    /// Programmed-page count (kept so wear accounting stays O(1)).
+    written: usize,
     busy: Timeline,
     reads: u64,
     programs: u64,
@@ -22,10 +31,13 @@ pub struct FlashChip {
 }
 
 impl FlashChip {
-    /// Creates an erased chip.
-    pub fn new(channel: u32, chip: u32) -> Self {
+    /// Creates an erased chip shaped for `geom`.
+    pub fn new(geom: &FlashGeometry, channel: u32, chip: u32) -> Self {
+        let n_blocks = geom.planes_per_chip as usize * geom.blocks_per_plane as usize;
         FlashChip {
-            pages: HashMap::new(),
+            blocks: vec![None; n_blocks],
+            pages_per_block: geom.pages_per_block as usize,
+            written: 0,
             busy: Timeline::new(format!("chip-{channel}.{chip}")),
             reads: 0,
             programs: 0,
@@ -33,17 +45,23 @@ impl FlashChip {
         }
     }
 
-    fn page_key(geom: &FlashGeometry, addr: PhysPageAddr) -> u64 {
-        (addr.plane as u64 * geom.blocks_per_plane as u64 + addr.block as u64)
-            * geom.pages_per_block as u64
-            + addr.page as u64
+    fn block_index(geom: &FlashGeometry, plane: u32, block: u32) -> usize {
+        plane as usize * geom.blocks_per_plane as usize + block as usize
+    }
+
+    fn slot(&self, geom: &FlashGeometry, addr: PhysPageAddr) -> Option<&Bytes> {
+        self.blocks
+            .get(Self::block_index(geom, addr.plane, addr.block))?
+            .as_ref()?
+            .get(addr.page as usize)?
+            .as_ref()
     }
 
     /// Returns a page's data without modeling any timing or stats — the
     /// firmware's control-plane view (used e.g. to locate record
     /// boundaries for task decomposition).
     pub fn peek(&self, geom: &FlashGeometry, addr: PhysPageAddr) -> Option<Bytes> {
-        self.pages.get(&Self::page_key(geom, addr)).cloned()
+        self.slot(geom, addr).cloned()
     }
 
     /// Senses a page into the page register. Returns the page data and the
@@ -55,10 +73,8 @@ impl FlashChip {
         ready: SimTime,
         t_read: SimDur,
     ) -> Result<(Bytes, SimTime), FlashError> {
-        let key = Self::page_key(geom, addr);
         let data = self
-            .pages
-            .get(&key)
+            .slot(geom, addr)
             .cloned()
             .ok_or(FlashError::UnwrittenPage(addr))?;
         let grant = self.busy.acquire(ready, t_read);
@@ -83,11 +99,15 @@ impl FlashChip {
                 want: geom.page_bytes as usize,
             });
         }
-        let key = Self::page_key(geom, addr);
-        if self.pages.contains_key(&key) {
+        let pages_per_block = self.pages_per_block;
+        let block = self.blocks[Self::block_index(geom, addr.plane, addr.block)]
+            .get_or_insert_with(|| vec![None; pages_per_block].into_boxed_slice());
+        let slot = &mut block[addr.page as usize];
+        if slot.is_some() {
             return Err(FlashError::ProgramWithoutErase(addr));
         }
-        self.pages.insert(key, data);
+        *slot = Some(data);
+        self.written += 1;
         let grant = self.busy.acquire(data_ready, t_prog);
         self.programs += 1;
         Ok(grant.end)
@@ -102,10 +122,8 @@ impl FlashChip {
         ready: SimTime,
         t_erase: SimDur,
     ) -> SimTime {
-        let base = (plane as u64 * geom.blocks_per_plane as u64 + block as u64)
-            * geom.pages_per_block as u64;
-        for page in 0..geom.pages_per_block as u64 {
-            self.pages.remove(&(base + page));
+        if let Some(pages) = self.blocks[Self::block_index(geom, plane, block)].take() {
+            self.written -= pages.iter().filter(|p| p.is_some()).count();
         }
         let grant = self.busy.acquire(ready, t_erase);
         self.erases += 1;
@@ -114,7 +132,7 @@ impl FlashChip {
 
     /// True if the page currently holds programmed data.
     pub fn is_written(&self, geom: &FlashGeometry, addr: PhysPageAddr) -> bool {
-        self.pages.contains_key(&Self::page_key(geom, addr))
+        self.slot(geom, addr).is_some()
     }
 
     /// When the chip next becomes idle.
@@ -134,7 +152,7 @@ impl FlashChip {
 
     /// Number of currently-programmed pages.
     pub fn written_pages(&self) -> usize {
-        self.pages.len()
+        self.written
     }
 
     /// Returns the chip to idle at t = 0, keeping data (between phases).
@@ -164,7 +182,7 @@ mod tests {
     #[test]
     fn program_then_sense_roundtrips() {
         let geom = FlashGeometry::small_for_tests();
-        let mut chip = FlashChip::new(0, 0);
+        let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
         chip.program(&geom, addr(0, 0), page(&geom, 0xAB), SimTime::ZERO, t.prog)
             .unwrap();
@@ -179,7 +197,7 @@ mod tests {
     #[test]
     fn sense_unwritten_fails() {
         let geom = FlashGeometry::small_for_tests();
-        let mut chip = FlashChip::new(0, 0);
+        let mut chip = FlashChip::new(&geom, 0, 0);
         let err = chip
             .sense(&geom, addr(0, 1), SimTime::ZERO, SimDur::from_us(20))
             .unwrap_err();
@@ -189,7 +207,7 @@ mod tests {
     #[test]
     fn double_program_requires_erase() {
         let geom = FlashGeometry::small_for_tests();
-        let mut chip = FlashChip::new(0, 0);
+        let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
         chip.program(&geom, addr(1, 0), page(&geom, 1), SimTime::ZERO, t.prog)
             .unwrap();
@@ -209,7 +227,7 @@ mod tests {
     #[test]
     fn bad_page_size_rejected() {
         let geom = FlashGeometry::small_for_tests();
-        let mut chip = FlashChip::new(0, 0);
+        let mut chip = FlashChip::new(&geom, 0, 0);
         let err = chip
             .program(
                 &geom,
@@ -225,7 +243,7 @@ mod tests {
     #[test]
     fn erase_clears_only_target_block() {
         let geom = FlashGeometry::small_for_tests();
-        let mut chip = FlashChip::new(0, 0);
+        let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
         chip.program(&geom, addr(0, 0), page(&geom, 1), SimTime::ZERO, t.prog)
             .unwrap();

@@ -87,7 +87,13 @@ impl PlaneState {
 pub struct Ftl {
     geom: FlashGeometry,
     placement: Placement,
-    map: HashMap<u64, PhysPageAddr>,
+    /// L2P table, directly indexed by LPA in lazily-allocated fixed-size
+    /// chunks. Plan building translates every input page of a run, so this
+    /// lookup must not hash; the chunking matters because callers place
+    /// streams at base LPAs megabytes apart, and a flat table grown to the
+    /// highest LPA would zero tens of megabytes per stream.
+    map: Vec<Option<Box<[Option<PhysPageAddr>]>>>,
+    /// P2L index for GC victim scans (write path only, stays a hash).
     reverse: HashMap<PhysPageAddr, u64>,
     planes: Vec<PlaneState>,
     /// Next chip cursor per channel.
@@ -101,6 +107,9 @@ pub struct Ftl {
     stats: FtlStats,
     exported_pages: u64,
 }
+
+/// L2P chunk granularity, in LPAs (24 KiB of table per allocated chunk).
+const L2P_CHUNK: usize = 1024;
 
 impl Ftl {
     /// Minimum free blocks per plane before GC kicks in.
@@ -119,7 +128,7 @@ impl Ftl {
         Ftl {
             geom,
             placement,
-            map: HashMap::new(),
+            map: Vec::new(),
             reverse: HashMap::new(),
             planes: vec![PlaneState::new(geom.blocks_per_plane); n_planes],
             chip_cursor: vec![0; geom.channels as usize],
@@ -161,7 +170,23 @@ impl Ftl {
 
     /// Translates a logical page to its current physical location.
     pub fn translate(&self, lpa: Lpa) -> Option<PhysPageAddr> {
-        self.map.get(&lpa.0).copied()
+        let i = lpa.0 as usize;
+        self.map.get(i / L2P_CHUNK)?.as_ref()?[i % L2P_CHUNK]
+    }
+
+    fn map_insert(&mut self, lpa: u64, addr: PhysPageAddr) {
+        let i = lpa as usize;
+        let chunk = i / L2P_CHUNK;
+        if chunk >= self.map.len() {
+            self.map.resize_with(chunk + 1, || None);
+        }
+        self.map[chunk].get_or_insert_with(|| vec![None; L2P_CHUNK].into_boxed_slice())
+            [i % L2P_CHUNK] = Some(addr);
+    }
+
+    fn map_remove(&mut self, lpa: u64) -> Option<PhysPageAddr> {
+        let i = lpa as usize;
+        self.map.get_mut(i / L2P_CHUNK)?.as_mut()?[i % L2P_CHUNK].take()
     }
 
     fn plane_index(&self, channel: u32, chip: u32, plane: u32) -> usize {
@@ -280,7 +305,7 @@ impl Ftl {
             return Err(FtlError::OutOfCapacity(lpa));
         }
         // Invalidate any previous version.
-        if let Some(old) = self.map.remove(&lpa.0) {
+        if let Some(old) = self.map_remove(lpa.0) {
             self.reverse.remove(&old);
             let pi = self.plane_index(old.channel, old.chip, old.plane);
             let v = &mut self.planes[pi].valid[old.block as usize];
@@ -289,7 +314,7 @@ impl Ftl {
         let (channel, chip, plane) = self.next_location();
         let addr = self.alloc_with_fallback(array, channel, chip, plane, now)?;
         let done = array.write_page(addr, data, now)?;
-        self.map.insert(lpa.0, addr);
+        self.map_insert(lpa.0, addr);
         self.reverse.insert(addr, lpa.0);
         self.stats.host_writes += 1;
         Ok(done)
@@ -312,7 +337,7 @@ impl Ftl {
         if lpa.0 >= self.exported_pages {
             return Err(FtlError::OutOfCapacity(lpa));
         }
-        if let Some(old) = self.map.remove(&lpa.0) {
+        if let Some(old) = self.map_remove(lpa.0) {
             self.reverse.remove(&old);
             let pi = self.plane_index(old.channel, old.chip, old.plane);
             let v = &mut self.planes[pi].valid[old.block as usize];
@@ -321,7 +346,7 @@ impl Ftl {
         let (channel, chip, plane) = self.next_location();
         let addr = self.alloc_with_fallback(array, channel, chip, plane, now)?;
         let times = array.write_page_detailed(addr, data, now)?;
-        self.map.insert(lpa.0, addr);
+        self.map_insert(lpa.0, addr);
         self.reverse.insert(addr, lpa.0);
         self.stats.host_writes += 1;
         Ok(times)
@@ -387,7 +412,7 @@ impl Ftl {
             let (data, _) = array.read_page(old, now)?;
             let new = self.alloc_in_plane(array, channel, chip, plane, now, false)?;
             array.write_page(new, data, now)?;
-            self.map.insert(lpa, new);
+            self.map_insert(lpa, new);
             self.reverse.remove(&old);
             self.reverse.insert(new, lpa);
             self.stats.gc_relocations += 1;

@@ -71,6 +71,18 @@ impl SimTime {
         SimTime(self.0.min(other.0))
     }
 
+    /// Rounds up to the next multiple of `step` (an instant already on a
+    /// boundary is unchanged). The event-driven co-simulation uses this to
+    /// jump deadlines while staying on the fixed-epoch progression, so
+    /// grant ordering is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn round_up_to(self, step: SimDur) -> SimTime {
+        SimTime(self.0.div_ceil(step.0) * step.0)
+    }
+
     /// Duration from `earlier` to `self`.
     ///
     /// # Panics
@@ -275,6 +287,15 @@ mod tests {
         assert_eq!(SimDur::from_ns(500).to_string(), "500.000ns");
         assert_eq!(SimTime::from_us(1500).to_string(), "1.500ms");
         assert_eq!(SimDur::from_ps(3).to_string(), "3ps");
+    }
+
+    #[test]
+    fn round_up_lands_on_boundaries() {
+        let step = SimDur::from_us(10);
+        assert_eq!(SimTime::ZERO.round_up_to(step), SimTime::ZERO);
+        assert_eq!(SimTime::from_ps(1).round_up_to(step), SimTime::from_us(10));
+        assert_eq!(SimTime::from_us(10).round_up_to(step), SimTime::from_us(10));
+        assert_eq!(SimTime::from_us(25).round_up_to(step), SimTime::from_us(30));
     }
 
     #[test]

@@ -9,7 +9,6 @@ use assasin_ftl::{Ftl, Lpa};
 use assasin_mem::{SharedDram, StreamBuffer};
 use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
 use bytes::Bytes;
-use std::collections::VecDeque;
 
 /// Per-request write-path state: each engine appends pages to its own
 /// disjoint LPA region.
@@ -37,15 +36,29 @@ pub(crate) struct PagePlan {
     pub len: u32,
 }
 
-/// The page schedule of one input stream for one core.
+/// The page schedule of one input stream for one core: a flat append-only
+/// vector with a consume cursor (plans are built front-to-back and drained
+/// front-to-back exactly once, so a ring buffer's wraparound bookkeeping
+/// buys nothing).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StreamPlan {
-    pub pages: VecDeque<PagePlan>,
+    pages: Vec<PagePlan>,
+    head: usize,
 }
 
 impl StreamPlan {
+    pub fn push(&mut self, page: PagePlan) {
+        self.pages.push(page);
+    }
+
+    pub fn pop(&mut self) -> Option<PagePlan> {
+        let page = self.pages.get(self.head).copied()?;
+        self.head += 1;
+        Some(page)
+    }
+
     pub fn remaining_bytes(&self) -> u64 {
-        self.pages.iter().map(|p| p.len as u64).sum()
+        self.pages[self.head..].iter().map(|p| p.len as u64).sum()
     }
 }
 
@@ -60,6 +73,53 @@ pub(crate) struct ScheduledPage {
     pub arrival: SimTime,
 }
 
+/// A flattened delivery queue: all of one stream's scheduled pages in one
+/// contiguous vector with a consume cursor. Scheduling appends every page
+/// once, consumption pops every page once — the cursor replaces per-pop
+/// ring arithmetic and keeps iteration over the unconsumed tail a plain
+/// slice walk.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PageQueue {
+    pages: Vec<ScheduledPage>,
+    head: usize,
+}
+
+impl PageQueue {
+    pub fn push(&mut self, page: ScheduledPage) {
+        self.pages.push(page);
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledPage> {
+        let slot = self.pages.get_mut(self.head)?;
+        // Move the payload out (refcount transfer, no copy); the spent
+        // slot keeps only an empty Bytes.
+        let page = ScheduledPage {
+            data: std::mem::take(&mut slot.data),
+            arrival: slot.arrival,
+        };
+        self.head += 1;
+        Some(page)
+    }
+
+    pub fn front_mut(&mut self) -> Option<&mut ScheduledPage> {
+        self.pages.get_mut(self.head)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.head == self.pages.len()
+    }
+
+    /// The unconsumed tail, in arrival order.
+    pub fn remaining(&self) -> &[ScheduledPage] {
+        &self.pages[self.head..]
+    }
+
+    /// Arrival time of the next undelivered page.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.pages.get(self.head).map(|p| p.arrival)
+    }
+}
+
 /// The data plane servicing all cores of one `scomp` execution.
 pub(crate) struct Backend<'a> {
     pub flash: &'a mut FlashArray,
@@ -71,7 +131,7 @@ pub(crate) struct Backend<'a> {
     pub dram: SharedDram,
     pub pcie: &'a mut Bandwidth,
     /// Pre-scheduled page deliveries, [core][stream].
-    pub scheduled: Vec<Vec<VecDeque<ScheduledPage>>>,
+    pub scheduled: Vec<Vec<PageQueue>>,
     pub outputs: Vec<Vec<u8>>,
     /// Latest output-drain completion per core.
     pub out_done: Vec<SimTime>,
@@ -87,6 +147,41 @@ pub(crate) struct Backend<'a> {
 }
 
 impl Backend<'_> {
+    /// The earliest pending backend completion strictly after `now`: the
+    /// next scheduled page arrival across all cores and streams, the
+    /// earliest in-flight output drain, or the earliest outstanding flash
+    /// program. `None` once the data plane is fully drained.
+    ///
+    /// This is a diagnostic/introspection view (used by the `Stuck` hang
+    /// report): the co-sim loop's deadline jumps are bounded by core
+    /// wake-ups alone, because every backend interaction is demand-driven
+    /// from inside core execution — a round in which no core runs has no
+    /// backend side effects to miss (DESIGN.md §11).
+    pub(crate) fn next_event(&self, now: SimTime) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now && earliest.is_none_or(|e| t < e) {
+                earliest = Some(t);
+            }
+        };
+        for streams in &self.scheduled {
+            for q in streams {
+                if let Some(t) = q.next_arrival() {
+                    consider(t);
+                }
+            }
+        }
+        for &t in &self.out_done {
+            consider(t);
+        }
+        if let Some(fo) = &self.flash_out {
+            for &t in &fo.prog_done {
+                consider(t);
+            }
+        }
+        earliest
+    }
+
     /// Drains `bytes` of results to the request's output target. Returns
     /// when the producing buffer frees (the ring-slot release time).
     pub(crate) fn drain(&mut self, core: usize, data: &[u8], now: SimTime) -> SimTime {
@@ -174,22 +269,22 @@ pub(crate) fn schedule_plans(
     crossbar_rate: f64,
     firmware_poll: SimDur,
     plans: &mut [Vec<StreamPlan>],
-) -> Vec<Vec<VecDeque<ScheduledPage>>> {
-    let mut scheduled: Vec<Vec<VecDeque<ScheduledPage>>> = plans
+) -> Vec<Vec<PageQueue>> {
+    let mut scheduled: Vec<Vec<PageQueue>> = plans
         .iter()
-        .map(|streams| streams.iter().map(|_| VecDeque::new()).collect())
+        .map(|streams| streams.iter().map(|_| PageQueue::default()).collect())
         .collect();
     let issue = SimTime::ZERO + firmware_poll;
+    let flash_xfer = flash.page_transfer_time();
     let mut progressed = true;
     while progressed {
         progressed = false;
         for (core, streams) in plans.iter_mut().enumerate() {
             for (sid, plan) in streams.iter_mut().enumerate() {
-                let Some(page) = plan.pages.pop_front() else {
+                let Some(page) = plan.pop() else {
                     continue;
                 };
                 progressed = true;
-                let flash_xfer = flash.timing().transfer_time(flash.geometry().page_bytes);
                 let (data, flash_arrival) = flash
                     .read_page(page.addr, issue)
                     .expect("scomp plans only reference written pages");
@@ -202,7 +297,7 @@ pub(crate) fn schedule_plans(
                 let xfer = SimDur::from_secs_f64(page.len as f64 / crossbar_rate);
                 let grant = crossbar[core].acquire(flash_arrival - flash_xfer, xfer);
                 let arrival = flash_arrival.max(grant.end) + SimDur::from_ns(200);
-                scheduled[core][sid].push_back(ScheduledPage {
+                scheduled[core][sid].push(ScheduledPage {
                     data: payload,
                     arrival,
                 });
@@ -220,7 +315,7 @@ impl StreamEnv for Backend<'_> {
             }
             let Some(page) = self.scheduled[core]
                 .get_mut(sid as usize)
-                .and_then(|q| q.pop_front())
+                .and_then(|q| q.pop())
             else {
                 let _ = sbuf.close(sid);
                 return;
@@ -253,7 +348,7 @@ impl StreamEnv for Backend<'_> {
         let take: usize = self.scheduled[core]
             .iter()
             .map(|q| {
-                let rem: usize = q.iter().map(|p| p.data.len()).sum();
+                let rem: usize = q.remaining().iter().map(|p| p.data.len()).sum();
                 rem.min(chunk_target)
             })
             .min()
@@ -267,7 +362,7 @@ impl StreamEnv for Backend<'_> {
                 let want = take - got;
                 ready = ready.max(front.arrival);
                 let piece = if front.data.len() <= want {
-                    let page = self.scheduled[core][sid].pop_front().expect("front");
+                    let page = self.scheduled[core][sid].pop().expect("front");
                     page.data
                 } else {
                     let head = front.data.slice(..want);

@@ -37,11 +37,13 @@
 
 mod backend;
 mod config;
+mod counters;
 mod error;
 mod request;
 mod ssd;
 
-pub use config::SsdConfig;
+pub use config::{CosimMode, SsdConfig};
+pub use counters::cosim_counters;
 pub use error::SsdError;
 pub use request::{CoreReport, KernelBundle, OutputTarget, ScompRequest, ScompResult};
 pub use ssd::{PlainIoResult, Ssd};

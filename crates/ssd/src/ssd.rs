@@ -2,10 +2,13 @@
 
 use crate::backend::FlashOut;
 use crate::backend::{schedule_plans, split_ranges, Backend, PagePlan, StreamPlan};
+use crate::config::CosimMode;
+use crate::counters::record_cosim;
 use crate::request::OutputTarget;
 use crate::{CoreReport, ScompRequest, ScompResult, SsdConfig, SsdError};
 use assasin_core::{
-    Core, CoreState, DramWindow, EngineKind, KernelProfile, StreamEnv, SyntheticEnv, UdpLane,
+    Core, CoreState, DramWindow, EngineKind, KernelProfile, RunOutcome, StreamEnv, SyntheticEnv,
+    UdpLane,
 };
 use assasin_flash::FlashArray;
 use assasin_ftl::{placement::Placement, Ftl, Lpa};
@@ -14,7 +17,6 @@ use assasin_kernels::AccessStyle;
 use assasin_mem::{Dram, SharedDram};
 use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
 use bytes::Bytes;
-use std::collections::VecDeque;
 
 /// Result of a conventional (non-compute) IO request.
 #[derive(Debug, Clone)]
@@ -98,13 +100,23 @@ impl Ssd {
     /// Propagates FTL/flash failures (capacity, device full).
     pub fn load_object(&mut self, first_lpa: u64, data: &[u8]) -> Result<Vec<Lpa>, SsdError> {
         let page = self.cfg.geometry.page_bytes as usize;
-        let mut lpas = Vec::new();
-        for (i, chunk) in data.chunks(page).enumerate() {
-            let mut buf = vec![0u8; page];
-            buf[..chunk.len()].copy_from_slice(chunk);
+        let n_pages = data.len().div_ceil(page);
+        // One padded backing buffer for the whole object: flash pages are
+        // refcounted slices into it, and downstream consumers (plan
+        // trimming, streambuffer refills, bank assembly) keep slicing the
+        // same arena instead of copying page-sized vectors around.
+        let mut buf = vec![0u8; n_pages * page];
+        buf[..data.len()].copy_from_slice(data);
+        let arena = Bytes::from(buf);
+        let mut lpas = Vec::with_capacity(n_pages);
+        for i in 0..n_pages {
             let lpa = Lpa(first_lpa + i as u64);
-            self.ftl
-                .write(&mut self.flash, lpa, Bytes::from(buf), SimTime::ZERO)?;
+            self.ftl.write(
+                &mut self.flash,
+                lpa,
+                arena.slice(i * page..(i + 1) * page),
+                SimTime::ZERO,
+            )?;
             lpas.push(lpa);
         }
         Ok(lpas)
@@ -242,7 +254,7 @@ impl Ssd {
                 }
                 let len = page.min(total - start) as u32;
                 let core = addr.channel as usize % n_cores;
-                plans[core][0].pages.push_back(PagePlan {
+                plans[core][0].push(PagePlan {
                     addr,
                     offset: 0,
                     len,
@@ -272,7 +284,7 @@ impl Ssd {
                         let page_start = p * page;
                         let lo = start.max(page_start);
                         let hi = end.min(page_start + page);
-                        plan.pages.push_back(PagePlan {
+                        plan.push(PagePlan {
                             addr,
                             offset: (lo - page_start) as u32,
                             len: (hi - lo) as u32,
@@ -449,31 +461,56 @@ impl Ssd {
         }
 
         // ---- bounded-epoch co-simulation --------------------------------
+        // Every backend interaction (refills, drains, bank assembly) is
+        // demand-driven from inside core execution, so a round in which no
+        // core retires an instruction has zero side effects. The
+        // event-driven mode exploits that: when every running core's next
+        // retirement lies beyond the next epoch boundary, the deadline
+        // jumps straight to the boundary covering the earliest wake-up.
+        // Deadlines stay on the `k * epoch` progression, so grant ordering
+        // — and every report byte — matches the fixed-epoch reference.
         let epoch = self.cfg.epoch;
         let mut deadline = SimTime::ZERO + epoch;
         let mut rounds: u64 = 0;
+        let mut epochs_skipped: u64 = 0;
         loop {
             let mut all_done = true;
+            let mut min_wake: Option<SimTime> = None;
             for core in cores.iter_mut() {
                 if core.state() == &CoreState::Running {
-                    core.run(&mut backend, deadline);
-                }
-                match core.state() {
-                    CoreState::Running => all_done = false,
-                    CoreState::Halted => {}
-                    CoreState::Wedged(m) => return Err(SsdError::CoreWedged(m.clone())),
+                    match core.run(&mut backend, deadline) {
+                        RunOutcome::Halted => {}
+                        RunOutcome::Wedged => match core.state() {
+                            CoreState::Wedged(m) => return Err(SsdError::CoreWedged(m.clone())),
+                            _ => unreachable!("Wedged outcome implies wedged state"),
+                        },
+                        RunOutcome::BlockedUntil(wake) => {
+                            all_done = false;
+                            min_wake = Some(min_wake.map_or(wake, |m| m.min(wake)));
+                        }
+                    }
                 }
             }
             if all_done {
+                record_cosim(rounds, epochs_skipped);
                 break;
             }
-            deadline += epoch;
             rounds += 1;
-            if rounds > 50_000_000 {
-                return Err(SsdError::Stuck(format!(
-                    "no completion after {rounds} epochs"
+            if rounds > self.cfg.max_rounds {
+                record_cosim(rounds, epochs_skipped);
+                return Err(SsdError::Stuck(stuck_report(
+                    rounds, deadline, &cores, &backend,
                 )));
             }
+            let next = deadline + epoch;
+            deadline = match (self.cfg.cosim, min_wake) {
+                (CosimMode::EventDriven, Some(wake)) if wake > next => {
+                    let jumped = wake.round_up_to(epoch);
+                    epochs_skipped += (jumped.as_ps() - next.as_ps()) / epoch.as_ps();
+                    jumped
+                }
+                _ => next,
+            };
         }
 
         // ---- finalize ----------------------------------------------------
@@ -710,12 +747,12 @@ fn stage_windows(
     }
     // Drain plans into the windows, page by page, round-robin.
     let dram_latency = backend.dram.borrow().latency();
-    let mut queues: Vec<(usize, usize, u64, VecDeque<PagePlan>)> = Vec::new();
+    let mut queues: Vec<(usize, usize, u64, StreamPlan)> = Vec::new();
     for (id, streams) in plans.iter_mut().enumerate() {
         let in_len: u64 = streams.first().map(|p| p.remaining_bytes()).unwrap_or(0);
         let stride = in_len.next_multiple_of(64);
         for (sid, plan) in streams.iter_mut().enumerate() {
-            let pages = std::mem::take(&mut plan.pages);
+            let pages = std::mem::take(plan);
             queues.push((id, sid, stride, pages));
         }
     }
@@ -724,7 +761,7 @@ fn stage_windows(
     while progressed {
         progressed = false;
         for (qi, (id, sid, stride, pages)) in queues.iter_mut().enumerate() {
-            let Some(plan) = pages.pop_front() else {
+            let Some(plan) = pages.pop() else {
                 continue;
             };
             progressed = true;
@@ -746,6 +783,36 @@ fn stage_windows(
         }
     }
     Ok(())
+}
+
+/// Formats the `SsdError::Stuck` diagnostic: per-core execution state plus
+/// the earliest pending backend event, so a hung co-simulation names its
+/// culprit instead of just a round count.
+fn stuck_report(rounds: u64, deadline: SimTime, cores: &[Core], backend: &Backend<'_>) -> String {
+    use std::fmt::Write;
+    let mut msg = format!("no completion after {rounds} co-sim rounds (deadline {deadline}):");
+    for core in cores {
+        let state = match core.state() {
+            CoreState::Running => "running".to_string(),
+            CoreState::Halted => "halted".to_string(),
+            CoreState::Wedged(m) => format!("wedged: {m}"),
+        };
+        let _ = write!(
+            msg,
+            "\n  core {} pc={} t={} [{}]",
+            core.id(),
+            core.pc(),
+            core.local_time(),
+            state
+        );
+    }
+    match backend.next_event(SimTime::ZERO) {
+        Some(t) => {
+            let _ = write!(msg, "\n  next backend event at {t}");
+        }
+        None => msg.push_str("\n  no pending backend events"),
+    }
+    msg
 }
 
 #[cfg(test)]
@@ -789,6 +856,26 @@ mod tests {
                 "engine {engine:?}: {}",
                 r.throughput_gbps()
             );
+        }
+    }
+
+    #[test]
+    fn exhausted_round_budget_reports_stuck_diagnostics() {
+        let mut cfg = SsdConfig::small_for_tests(EngineKind::AssasinSb);
+        // A 256 KiB scan needs many epochs; a one-round budget cannot.
+        cfg.max_rounds = 1;
+        let mut ssd = Ssd::new(cfg);
+        let data: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 241) as u8).collect();
+        let lpas = ssd.load_object(0, &data).unwrap();
+        let req =
+            ScompRequest::new(scan_bundle(), vec![lpas]).with_stream_bytes(vec![data.len() as u64]);
+        match ssd.scomp(&req) {
+            Err(SsdError::Stuck(msg)) => {
+                assert!(msg.contains("co-sim rounds"), "{msg}");
+                assert!(msg.contains("core 0 pc="), "{msg}");
+                assert!(msg.contains("backend event"), "{msg}");
+            }
+            other => panic!("expected Stuck, got {other:?}"),
         }
     }
 
