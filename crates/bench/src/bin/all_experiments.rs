@@ -90,6 +90,10 @@ fn main() {
             "ablations",
             Box::new(move || vec![render("ablations", &ablations::run(&scale))]),
         ),
+        (
+            "reliability",
+            Box::new(move || vec![render("reliability", &fig_reliability::run(&scale))]),
+        ),
     ];
     let produced = sweep::run_points(&tasks, |(name, task)| {
         let started = Instant::now();

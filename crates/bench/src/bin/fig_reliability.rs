@@ -1,0 +1,8 @@
+//! Runs the reliability sweep (NAND fault injection; DESIGN.md §12).
+
+use assasin_bench::experiments::fig_reliability;
+use assasin_bench::Scale;
+
+fn main() {
+    println!("{}", fig_reliability::run(&Scale::from_env()));
+}

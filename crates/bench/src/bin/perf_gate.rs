@@ -19,11 +19,28 @@
 use serde_json::Value;
 use std::process::ExitCode;
 
+/// The regression threshold: `ASSASIN_PERF_GATE_PCT` when set, else 20%.
+/// A set-but-malformed value is a hard error (exit 2), not a silent fall
+/// back to the default — a CI job that typos `ASSASIN_PERF_GATE_PCT=5%`
+/// must not quietly gate at 20%.
 fn threshold_pct() -> f64 {
-    std::env::var("ASSASIN_PERF_GATE_PCT")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20.0)
+    match std::env::var("ASSASIN_PERF_GATE_PCT") {
+        Err(std::env::VarError::NotPresent) => 20.0,
+        Err(e) => {
+            eprintln!("perf_gate: ASSASIN_PERF_GATE_PCT is not valid unicode: {e}");
+            std::process::exit(2);
+        }
+        Ok(s) => match s.parse::<f64>() {
+            Ok(pct) if pct.is_finite() && pct >= 0.0 => pct,
+            _ => {
+                eprintln!(
+                    "perf_gate: invalid ASSASIN_PERF_GATE_PCT {s:?}: \
+                     expected a non-negative number of percent (e.g. 20)"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn load(path: &str) -> Value {

@@ -11,7 +11,7 @@
 //! streambuffer) in isolation, so a slowdown can be attributed before
 //! reaching for a profiler. Rerun after harness or simulator changes.
 
-use assasin_bench::experiments::{fig13, fig14, fig16};
+use assasin_bench::experiments::{fig13, fig14, fig16, fig_reliability};
 use assasin_bench::Scale;
 use assasin_core::{Core, CoreConfig, SyntheticEnv};
 use assasin_flash::{FlashArray, FlashGeometry, FlashTiming, PhysPageAddr};
@@ -38,6 +38,14 @@ struct ExperimentSample {
     cosim_rounds: u64,
     /// Fixed-epoch rounds the event-driven deadline jumps skipped.
     epochs_skipped: u64,
+    /// Read-retry re-senses across the run (0 unless fault injection ran).
+    read_retries: u64,
+    /// Pages needing ECC correction across the run.
+    ecc_corrected: u64,
+    /// Pages lost beyond ECC + read-retry across the run.
+    uncorrectable: u64,
+    /// Blocks retired grown-bad across the run.
+    grown_bad_blocks: u64,
 }
 
 /// One hot-path component timed in isolation.
@@ -85,50 +93,84 @@ fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
         .map_or(0.0, |e| e.gbps)
 }
 
-/// Snapshot-delta of the process-wide co-sim counters around a run.
-fn with_cosim_counters<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+/// Process-wide counter deltas around one experiment run.
+struct RunCounters {
+    cosim_rounds: u64,
+    epochs_skipped: u64,
+    rel: assasin_flash::ReliabilityCounters,
+}
+
+/// Snapshot-delta of the process-wide co-sim + media-reliability counters
+/// around a run.
+fn with_counters<T>(f: impl FnOnce() -> T) -> (T, RunCounters) {
     let (r0, s0) = assasin_ssd::cosim_counters();
+    let rel0 = assasin_flash::reliability_counters();
     let out = f();
     let (r1, s1) = assasin_ssd::cosim_counters();
-    (out, r1 - r0, s1 - s0)
+    let rel1 = assasin_flash::reliability_counters();
+    (
+        out,
+        RunCounters {
+            cosim_rounds: r1 - r0,
+            epochs_skipped: s1 - s0,
+            rel: rel1.since(rel0),
+        },
+    )
+}
+
+fn sample(name: &'static str, wall_secs: f64, gbps: f64, c: RunCounters) -> ExperimentSample {
+    ExperimentSample {
+        name,
+        wall_secs,
+        simulated_gbps: gbps,
+        cosim_rounds: c.cosim_rounds,
+        epochs_skipped: c.epochs_skipped,
+        read_retries: c.rel.read_retries,
+        ecc_corrected: c.rel.ecc_corrected,
+        uncorrectable: c.rel.uncorrectable,
+        grown_bad_blocks: c.rel.grown_bad_blocks,
+    }
 }
 
 fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
     let mut samples = Vec::new();
     let t = Instant::now();
-    let (f13, rounds, skipped) = with_cosim_counters(|| fig13::run_with(scale, false));
-    samples.push(ExperimentSample {
-        name: "fig13",
-        wall_secs: t.elapsed().as_secs_f64(),
-        simulated_gbps: f13
-            .functions
+    let (f13, c) = with_counters(|| fig13::run_with(scale, false));
+    samples.push(sample(
+        "fig13",
+        t.elapsed().as_secs_f64(),
+        f13.functions
             .first()
             .map_or(0.0, |row| sb_gbps(&row.entries)),
-        cosim_rounds: rounds,
-        epochs_skipped: skipped,
-    });
+        c,
+    ));
     let t = Instant::now();
-    let (f14, rounds, skipped) = with_cosim_counters(|| fig14::run_with(scale, false));
-    samples.push(ExperimentSample {
-        name: "fig14",
-        wall_secs: t.elapsed().as_secs_f64(),
-        simulated_gbps: f14
-            .entries
+    let (f14, c) = with_counters(|| fig14::run_with(scale, false));
+    samples.push(sample(
+        "fig14",
+        t.elapsed().as_secs_f64(),
+        f14.entries
             .iter()
             .find(|e| e.engine == "AssasinSb")
             .map_or(0.0, |e| e.gbps),
-        cosim_rounds: rounds,
-        epochs_skipped: skipped,
-    });
+        c,
+    ));
     let t = Instant::now();
-    let (f16, rounds, skipped) = with_cosim_counters(|| fig16::run(scale));
-    samples.push(ExperimentSample {
-        name: "fig16",
-        wall_secs: t.elapsed().as_secs_f64(),
-        simulated_gbps: f16.points.last().map_or(0.0, |p| p.gbps),
-        cosim_rounds: rounds,
-        epochs_skipped: skipped,
-    });
+    let (f16, c) = with_counters(|| fig16::run(scale));
+    samples.push(sample(
+        "fig16",
+        t.elapsed().as_secs_f64(),
+        f16.points.last().map_or(0.0, |p| p.gbps),
+        c,
+    ));
+    let t = Instant::now();
+    let (rel, c) = with_counters(|| fig_reliability::run(scale));
+    samples.push(sample(
+        "reliability",
+        t.elapsed().as_secs_f64(),
+        rel.points.last().map_or(0.0, |p| p.gbps),
+        c,
+    ));
     samples
 }
 

@@ -1,0 +1,195 @@
+//! Reliability sweep: throughput degradation under NAND fault injection.
+//!
+//! Sweeps the raw bit-error rate (and one retention-stressed corner) over
+//! the AssasinSb scan offload and reports delivered throughput against the
+//! read-retry rate the media sustains. DESIGN.md §12 describes the fault
+//! model; the sweep's corners are chosen so the ECC budget transitions
+//! from always-clean through routinely-corrected to retry-dependent, while
+//! staying short of uncorrectable loss — the device degrades, it does not
+//! fail. Fault draws are keyed on the scale's fixed seed, so two runs of
+//! this experiment are byte-identical (pinned by a determinism test).
+
+use crate::bundles;
+use crate::report;
+use crate::runner::offload;
+use crate::sweep;
+use crate::Scale;
+use assasin_core::EngineKind;
+use assasin_flash::FaultConfig;
+use assasin_ssd::{Ssd, SsdConfig};
+use serde::Serialize;
+use std::fmt;
+
+/// One fault-injection corner's measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Raw bit-error probability per stored bit.
+    pub raw_ber: f64,
+    /// Retention-stress multiplier on the BER.
+    pub retention: f64,
+    /// Delivered input throughput, GB/s.
+    pub gbps: f64,
+    /// Fault-free throughput divided by this corner's (1.0 = no cost).
+    pub slowdown: f64,
+    /// Page senses issued by the device over the whole run (loads + scomp).
+    pub page_reads: u64,
+    /// Read-retry re-senses beyond the initial sense.
+    pub read_retries: u64,
+    /// Retries per page read (can exceed 1.0 when every read retries
+    /// multiple ladder levels).
+    pub retry_rate: f64,
+    /// Pages that needed ECC correction (clean reads excluded).
+    pub ecc_corrected: u64,
+    /// Pages lost beyond ECC + retry (0 at every swept corner).
+    pub uncorrectable: u64,
+    /// Blocks retired grown-bad after program/erase failures.
+    pub grown_bad_blocks: u64,
+}
+
+/// The reliability-sweep report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReliabilityReport {
+    /// Fault seed used for every corner.
+    pub seed: u64,
+    /// One entry per (BER, retention) corner, fault-free first.
+    pub points: Vec<Point>,
+}
+
+/// The swept `(raw_ber, retention)` corners. The first is the fault-free
+/// baseline the slowdown column normalizes against.
+pub const CORNERS: [(f64, f64); 5] = [
+    (0.0, 1.0),
+    (1e-4, 1.0),
+    (3e-4, 1.0),
+    (1e-3, 1.0),
+    (1e-3, 4.0),
+];
+
+fn pattern(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) >> 8) as u8)
+        .collect()
+}
+
+/// Runs the reliability sweep.
+pub fn run(scale: &Scale) -> ReliabilityReport {
+    let streams = vec![pattern(scale.standalone_bytes, scale.seed)];
+    let measured = sweep::run_points(&CORNERS, |&(raw_ber, retention)| {
+        let mut fault = FaultConfig::with_ber(scale.seed, raw_ber);
+        fault.retention = retention;
+        // Program failures scale with the same media quality the BER
+        // models; x10 keeps them rare but present at the worst corners.
+        fault.program_fail_prob = raw_ber * 10.0;
+        let mut cfg = SsdConfig::engine_config(EngineKind::AssasinSb);
+        cfg.fault = fault;
+        let mut ssd = Ssd::new(cfg);
+        let r = offload(&mut ssd, bundles::scan_bundle(), &streams)
+            .unwrap_or_else(|e| panic!("reliability corner ber={raw_ber}: {e}"));
+        let rel = ssd.reliability();
+        (r.throughput_gbps(), rel)
+    });
+    let baseline_gbps = measured[0].0;
+    let points = CORNERS
+        .iter()
+        .zip(measured)
+        .map(|(&(raw_ber, retention), (gbps, rel))| Point {
+            raw_ber,
+            retention,
+            gbps,
+            slowdown: if gbps > 0.0 {
+                baseline_gbps / gbps
+            } else {
+                0.0
+            },
+            page_reads: rel.page_reads,
+            read_retries: rel.read_retries,
+            retry_rate: if rel.page_reads > 0 {
+                rel.read_retries as f64 / rel.page_reads as f64
+            } else {
+                0.0
+            },
+            ecc_corrected: rel.ecc_corrected,
+            uncorrectable: rel.uncorrectable,
+            grown_bad_blocks: rel.grown_bad_blocks,
+        })
+        .collect();
+    ReliabilityReport {
+        seed: scale.seed,
+        points,
+    }
+}
+
+impl fmt::Display for ReliabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Reliability: scan throughput under NAND fault injection (seed {:#x})",
+            self.seed
+        )?;
+        let headers = vec![
+            "raw BER",
+            "retention",
+            "GB/s",
+            "slowdown",
+            "retry rate",
+            "ecc corrected",
+            "uncorrectable",
+            "grown bad",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.0e}", p.raw_ber),
+                    format!("{:.1}", p.retention),
+                    report::gbps(p.gbps),
+                    report::ratio(p.slowdown),
+                    format!("{:.3}", p.retry_rate),
+                    p.ecc_corrected.to_string(),
+                    p.uncorrectable.to_string(),
+                    p.grown_bad_blocks.to_string(),
+                ]
+            })
+            .collect();
+        write!(f, "{}", report::table(&headers, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_sweep_degrades_gracefully() {
+        let r = run(&Scale::test_scale());
+        assert_eq!(r.points.len(), CORNERS.len());
+        let base = &r.points[0];
+        assert!(base.gbps > 0.0);
+        assert_eq!(base.read_retries, 0, "fault-free corner never retries");
+        assert_eq!(base.ecc_corrected, 0);
+        let worst = r.points.last().unwrap();
+        assert!(
+            worst.retry_rate > r.points[1].retry_rate,
+            "retention stress raises the retry rate: {} vs {}",
+            worst.retry_rate,
+            r.points[1].retry_rate
+        );
+        assert!(
+            worst.slowdown >= 1.0,
+            "retries cost simulated time: {}",
+            worst.slowdown
+        );
+        for p in &r.points {
+            assert_eq!(p.uncorrectable, 0, "swept corners stay recoverable");
+            assert!(p.gbps > 0.0, "every corner completes");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let a = serde_json::to_string(&run(&Scale::test_scale())).unwrap();
+        let b = serde_json::to_string(&run(&Scale::test_scale())).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -20,6 +20,7 @@
 //! | `fig20_timing` | Figure 20 (memory-structure access times) |
 //! | `fig21_adjusted` | Figure 21 (timing-adjusted throughput) |
 //! | `fig22_efficiency` | Figure 22 + Table V (power/area efficiency) |
+//! | `fig_reliability` | Reliability sweep (NAND fault injection, DESIGN.md §12) |
 
 pub mod bundles;
 pub mod experiments;

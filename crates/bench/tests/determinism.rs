@@ -4,7 +4,7 @@
 //! reassembled in input order, so thread count must not leak into any
 //! report.
 
-use assasin_bench::experiments::fig13;
+use assasin_bench::experiments::{fig13, fig_reliability};
 use assasin_bench::Scale;
 
 #[test]
@@ -17,5 +17,27 @@ fn fig13_serial_and_parallel_reports_are_byte_identical() {
     assert_eq!(
         serial_json, parallel_json,
         "parallel sweep must reproduce the serial report byte-for-byte"
+    );
+}
+
+/// The fault-injection experiment's determinism guarantee: with a fixed
+/// seed, two runs — and serial vs parallel runs — serialize to
+/// byte-identical JSON. Every fault draw is keyed on (seed, physical page,
+/// program epoch, op sequence), so no RNG state leaks across runs or
+/// threads.
+#[test]
+fn reliability_sweep_same_seed_runs_are_byte_identical() {
+    let scale = Scale::test_scale();
+    let first = serde_json::to_string(&fig_reliability::run(&scale)).expect("serialize");
+    let second = serde_json::to_string(&fig_reliability::run(&scale)).expect("serialize");
+    assert_eq!(
+        first, second,
+        "same-seed fault-injection runs must be byte-identical"
+    );
+    let serial = assasin_parallel::with_max_threads(1, || fig_reliability::run(&scale));
+    let serial_json = serde_json::to_string(&serial).expect("serialize");
+    assert_eq!(
+        first, serial_json,
+        "thread count must not leak into the fault-injection report"
     );
 }

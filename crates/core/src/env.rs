@@ -134,7 +134,7 @@ impl SyntheticEnv {
 
 impl StreamEnv for SyntheticEnv {
     fn refill_stream(&mut self, _core: usize, sid: u32, now: SimTime, sbuf: &mut StreamBuffer) {
-        while sbuf.free_slots(sid) > 0 {
+        while sbuf.free_slots(sid).unwrap_or(0) > 0 {
             let Some(page) = self.inputs[sid as usize].pop_front() else {
                 let _ = sbuf.close(sid);
                 return;

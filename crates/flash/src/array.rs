@@ -1,5 +1,7 @@
 //! The multi-channel flash array.
 
+use crate::counters;
+use crate::fault::{FaultConfig, PageHealth, ReliabilityStats};
 use crate::{FlashChip, FlashError, FlashGeometry, FlashTiming, PhysPageAddr};
 use assasin_sim::{SimDur, SimTime, Timeline};
 use bytes::Bytes;
@@ -42,11 +44,21 @@ pub struct FlashArray {
     /// measurable in plan scheduling.
     page_xfer: SimDur,
     channels: Vec<Channel>,
+    fault: FaultConfig,
+    /// Cumulative reliability counters; deliberately NOT cleared by
+    /// `reset_stats`/`reset_time` — faults during dataset loading are part
+    /// of the device's history.
+    rel: ReliabilityStats,
 }
 
 impl FlashArray {
-    /// Creates an erased array.
+    /// Creates an erased array with fault injection disabled.
     pub fn new(geom: FlashGeometry, timing: FlashTiming) -> Self {
+        Self::with_faults(geom, timing, FaultConfig::disabled())
+    }
+
+    /// Creates an erased array with the given fault-injection config.
+    pub fn with_faults(geom: FlashGeometry, timing: FlashTiming, fault: FaultConfig) -> Self {
         let channels = (0..geom.channels)
             .map(|ch| Channel {
                 bus: Timeline::new(format!("channel-{ch}")),
@@ -61,7 +73,20 @@ impl FlashArray {
             timing,
             page_xfer: timing.transfer_time(geom.page_bytes),
             channels,
+            fault,
+            rel: ReliabilityStats::default(),
         }
+    }
+
+    /// The active fault-injection config.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.fault
+    }
+
+    /// Cumulative reliability counters for this array (never reset between
+    /// experiment phases).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.rel
     }
 
     /// The configured geometry.
@@ -110,17 +135,56 @@ impl FlashArray {
         addr: PhysPageAddr,
         ready: SimTime,
     ) -> Result<(Bytes, SimTime), FlashError> {
+        self.read_page_detailed(addr, ready)
+            .map(|(data, done, _)| (data, done))
+    }
+
+    /// Like [`FlashArray::read_page`], but also exposes the ECC outcome
+    /// ([`PageHealth`]) so the FTL can account retries and corrections.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlashArray::read_page`], plus
+    /// [`FlashError::Uncorrectable`] when fault injection deems the page
+    /// unreadable after the full read-retry ladder (the chip time for every
+    /// sense is still charged).
+    pub fn read_page_detailed(
+        &mut self,
+        addr: PhysPageAddr,
+        ready: SimTime,
+    ) -> Result<(Bytes, SimTime, PageHealth), FlashError> {
         self.check(addr)?;
         let page_bytes = self.geom.page_bytes;
         let t_read = self.timing.t_read;
         let xfer = self.page_xfer;
+        let fault = self.fault;
         let channel = &mut self.channels[addr.channel as usize];
-        let (data, sensed) =
-            channel.chips[addr.chip as usize].sense(&self.geom, addr, ready, t_read)?;
+        let (data, sensed, health) = match channel.chips[addr.chip as usize]
+            .sense(&self.geom, &fault, addr, ready, t_read)
+        {
+            Ok(ok) => ok,
+            Err(e) => {
+                if let FlashError::Uncorrectable { .. } = e {
+                    self.rel.page_reads += 1;
+                    self.rel.uncorrectable += 1;
+                    self.rel.read_retries += fault.read_retry_limit as u64;
+                    counters::record_uncorrectable(fault.read_retry_limit as u64);
+                }
+                return Err(e);
+            }
+        };
+        self.rel.page_reads += 1;
+        if fault.enabled {
+            self.rel.read_retries += health.retries() as u64;
+            if health.corrected() {
+                self.rel.ecc_corrected += 1;
+            }
+            counters::record_read(health.retries() as u64, health.corrected());
+        }
         let bus_grant = channel.bus.acquire(sensed, xfer);
         channel.stats.bytes_read += page_bytes as u64;
         channel.stats.page_reads += 1;
-        Ok((data, bus_grant.end))
+        Ok((data, bus_grant.end, health))
     }
 
     /// Writes (programs) a page: the bus moves data in, then the chip
@@ -158,15 +222,27 @@ impl FlashArray {
         let xfer = self.page_xfer;
         let t_prog = self.timing.t_prog;
         let page_bytes = self.geom.page_bytes;
+        let fault = self.fault;
         let channel = &mut self.channels[addr.channel as usize];
         let bus_grant = channel.bus.acquire(ready, xfer);
-        let done = channel.chips[addr.chip as usize].program(
+        let done = match channel.chips[addr.chip as usize].program(
             &self.geom,
+            &fault,
             addr,
             data,
             bus_grant.end,
             t_prog,
-        )?;
+        ) {
+            Ok(done) => done,
+            Err(e) => {
+                if let FlashError::ProgramFailed(_) = e {
+                    self.rel.program_fails += 1;
+                    self.rel.grown_bad_blocks += 1;
+                    counters::record_grown_bad();
+                }
+                return Err(e);
+            }
+        };
         channel.stats.bytes_written += page_bytes as u64;
         channel.stats.page_programs += 1;
         Ok((bus_grant.end, done))
@@ -194,8 +270,30 @@ impl FlashArray {
         };
         self.check(probe)?;
         let t_erase = self.timing.t_erase;
+        let fault = self.fault;
         let ch = &mut self.channels[channel as usize];
-        Ok(ch.chips[chip as usize].erase_block(&self.geom, plane, block, ready, t_erase))
+        match ch.chips[chip as usize].erase_block(&self.geom, &fault, plane, block, ready, t_erase)
+        {
+            Ok(done) => Ok(done),
+            Err(e) => {
+                if let FlashError::EraseFailed { .. } = e {
+                    self.rel.erase_fails += 1;
+                    self.rel.grown_bad_blocks += 1;
+                    counters::record_grown_bad();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// True if the block has been marked grown-bad.
+    pub fn is_bad_block(&self, channel: u32, chip: u32, plane: u32, block: u32) -> bool {
+        self.channels[channel as usize].chips[chip as usize].is_bad(&self.geom, plane, block)
+    }
+
+    /// Times the block has been erased (wear / program-epoch accounting).
+    pub fn erase_count(&self, channel: u32, chip: u32, plane: u32, block: u32) -> u32 {
+        self.channels[channel as usize].chips[chip as usize].erase_count(&self.geom, plane, block)
     }
 
     /// True if the page holds programmed data.

@@ -1,5 +1,6 @@
 //! A single flash chip: page store plus busy timeline.
 
+use crate::fault::{FaultConfig, PageHealth};
 use crate::{FlashError, FlashGeometry, PhysPageAddr};
 use assasin_sim::{SimDur, SimTime, Timeline};
 use bytes::Bytes;
@@ -28,6 +29,17 @@ pub struct FlashChip {
     reads: u64,
     programs: u64,
     erases: u64,
+    /// Per-block erase count — the fault model's "program epoch": data
+    /// written after an erase sees fresh error draws.
+    erase_counts: Vec<u32>,
+    /// Per-block grown-bad flags (program/erase failures).
+    bad: Vec<bool>,
+    /// Monotone fault-draw sequence, so a re-read of the same page draws a
+    /// fresh error count instead of replaying the same marginal sense.
+    fault_seq: u64,
+    /// This chip's (channel, chip) coordinates, for error context.
+    channel: u32,
+    chip: u32,
 }
 
 impl FlashChip {
@@ -42,6 +54,11 @@ impl FlashChip {
             reads: 0,
             programs: 0,
             erases: 0,
+            erase_counts: vec![0; n_blocks],
+            bad: vec![false; n_blocks],
+            fault_seq: 0,
+            channel,
+            chip,
         }
     }
 
@@ -64,29 +81,74 @@ impl FlashChip {
         self.slot(geom, addr).cloned()
     }
 
-    /// Senses a page into the page register. Returns the page data and the
-    /// time the register is loaded (before any bus transfer).
+    /// Senses a page into the page register. Returns the page data, the
+    /// time the register is loaded (before any bus transfer) and the ECC
+    /// outcome.
+    ///
+    /// With fault injection enabled, the ECC model classifies the drawn
+    /// raw-bit-error count: within budget on the first sense is clean or
+    /// corrected; beyond budget triggers read-retry, each level re-sensing
+    /// the page (a full extra `t_read` charged on the chip timeline) with
+    /// a shifted read reference that geometrically shrinks the residual
+    /// errors. A page still beyond budget after `read_retry_limit` levels
+    /// is [`FlashError::Uncorrectable`] — the chip time for every sense is
+    /// still charged, as a real controller would have spent it.
     pub fn sense(
         &mut self,
         geom: &FlashGeometry,
+        fault: &FaultConfig,
         addr: PhysPageAddr,
         ready: SimTime,
         t_read: SimDur,
-    ) -> Result<(Bytes, SimTime), FlashError> {
+    ) -> Result<(Bytes, SimTime, PageHealth), FlashError> {
         let data = self
             .slot(geom, addr)
             .cloned()
             .ok_or(FlashError::UnwrittenPage(addr))?;
-        let grant = self.busy.acquire(ready, t_read);
-        self.reads += 1;
-        Ok((data, grant.end))
+        if !fault.enabled {
+            let grant = self.busy.acquire(ready, t_read);
+            self.reads += 1;
+            return Ok((data, grant.end, PageHealth::Clean));
+        }
+        let bi = Self::block_index(geom, addr.plane, addr.block);
+        let epoch = self.erase_counts[bi];
+        let key = fault.op_key(geom.linear_index(addr), epoch, self.fault_seq);
+        self.fault_seq += 1;
+        let page_bits = geom.page_bytes as u64 * 8;
+        let mut result = Err(0u32);
+        for attempt in 0..=fault.read_retry_limit {
+            let errors = fault.draw_errors(page_bits, epoch, attempt, key);
+            if errors <= fault.ecc_bits {
+                result = Ok((attempt, errors));
+                break;
+            }
+            result = Err(errors);
+        }
+        let senses = match result {
+            Ok((attempt, _)) => attempt + 1,
+            Err(_) => fault.read_retry_limit + 1,
+        };
+        let grant = self.busy.acquire_repeated(ready, t_read, senses);
+        self.reads += senses as u64;
+        match result {
+            Ok((0, 0)) => Ok((data, grant.end, PageHealth::Clean)),
+            Ok((0, bits)) => Ok((data, grant.end, PageHealth::Corrected { bits })),
+            Ok((retries, bits)) => Ok((data, grant.end, PageHealth::Retried { retries, bits })),
+            Err(errors) => Err(FlashError::Uncorrectable { addr, errors }),
+        }
     }
 
     /// Programs a page from the page register; `data_ready` is when the bus
     /// finished delivering data. Returns program completion time.
+    ///
+    /// With fault injection enabled, a program can fail: the chip is still
+    /// occupied for `t_prog`, nothing is stored, and the block is marked
+    /// grown-bad. Programs targeting an already grown-bad block are
+    /// rejected up front.
     pub fn program(
         &mut self,
         geom: &FlashGeometry,
+        fault: &FaultConfig,
         addr: PhysPageAddr,
         data: Bytes,
         data_ready: SimTime,
@@ -99,12 +161,30 @@ impl FlashChip {
                 want: geom.page_bytes as usize,
             });
         }
+        let bi = Self::block_index(geom, addr.plane, addr.block);
+        if fault.enabled && self.bad[bi] {
+            return Err(FlashError::GrownBad(addr));
+        }
         let pages_per_block = self.pages_per_block;
-        let block = self.blocks[Self::block_index(geom, addr.plane, addr.block)]
-            .get_or_insert_with(|| vec![None; pages_per_block].into_boxed_slice());
+        let block =
+            self.blocks[bi].get_or_insert_with(|| vec![None; pages_per_block].into_boxed_slice());
         let slot = &mut block[addr.page as usize];
         if slot.is_some() {
             return Err(FlashError::ProgramWithoutErase(addr));
+        }
+        if fault.enabled {
+            let key = fault.op_key(
+                geom.linear_index(addr),
+                self.erase_counts[bi],
+                self.fault_seq,
+            );
+            self.fault_seq += 1;
+            if fault.draw_program_fail(key) {
+                self.bad[bi] = true;
+                self.busy.acquire(data_ready, t_prog);
+                self.programs += 1;
+                return Err(FlashError::ProgramFailed(addr));
+            }
         }
         *slot = Some(data);
         self.written += 1;
@@ -114,20 +194,67 @@ impl FlashChip {
     }
 
     /// Erases a whole block, freeing its pages. Returns completion time.
+    ///
+    /// With fault injection enabled, an erase can fail: the chip is still
+    /// occupied for `t_erase`, the block keeps its stale contents and is
+    /// marked grown-bad. Erases of an already grown-bad block are rejected.
     pub fn erase_block(
         &mut self,
         geom: &FlashGeometry,
+        fault: &FaultConfig,
         plane: u32,
         block: u32,
         ready: SimTime,
         t_erase: SimDur,
-    ) -> SimTime {
-        if let Some(pages) = self.blocks[Self::block_index(geom, plane, block)].take() {
+    ) -> Result<SimTime, FlashError> {
+        let bi = Self::block_index(geom, plane, block);
+        let probe = PhysPageAddr {
+            channel: self.channel,
+            chip: self.chip,
+            plane,
+            block,
+            page: 0,
+        };
+        if fault.enabled {
+            if self.bad[bi] {
+                return Err(FlashError::GrownBad(probe));
+            }
+            let key = fault.op_key(
+                geom.linear_index(probe),
+                self.erase_counts[bi],
+                self.fault_seq,
+            );
+            self.fault_seq += 1;
+            if fault.draw_erase_fail(key) {
+                self.bad[bi] = true;
+                self.busy.acquire(ready, t_erase);
+                self.erases += 1;
+                return Err(FlashError::EraseFailed {
+                    channel: self.channel,
+                    chip: self.chip,
+                    plane,
+                    block,
+                });
+            }
+        }
+        if let Some(pages) = self.blocks[bi].take() {
             self.written -= pages.iter().filter(|p| p.is_some()).count();
         }
         let grant = self.busy.acquire(ready, t_erase);
         self.erases += 1;
-        grant.end
+        self.erase_counts[bi] += 1;
+        Ok(grant.end)
+    }
+
+    /// Times this block has been erased (the fault model's program epoch).
+    pub fn erase_count(&self, geom: &FlashGeometry, plane: u32, block: u32) -> u32 {
+        self.erase_counts[Self::block_index(geom, plane, block)]
+    }
+
+    /// True if the block has been marked grown-bad by a failed program or
+    /// erase.
+    pub fn is_bad(&self, geom: &FlashGeometry, plane: u32, block: u32) -> bool {
+        self.bad[Self::block_index(geom, plane, block)]
     }
 
     /// True if the page currently holds programmed data.
@@ -179,17 +306,38 @@ mod tests {
         Bytes::from(vec![fill; geom.page_bytes as usize])
     }
 
+    const NO_FAULTS: FaultConfig = FaultConfig {
+        enabled: false,
+        seed: 0,
+        raw_ber: 0.0,
+        wear_factor: 0.0,
+        retention: 1.0,
+        ecc_bits: 40,
+        read_retry_limit: 4,
+        retry_shrink: 0.25,
+        program_fail_prob: 0.0,
+        erase_fail_prob: 0.0,
+    };
+
     #[test]
     fn program_then_sense_roundtrips() {
         let geom = FlashGeometry::small_for_tests();
         let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
-        chip.program(&geom, addr(0, 0), page(&geom, 0xAB), SimTime::ZERO, t.prog)
-            .unwrap();
-        let (data, done) = chip
-            .sense(&geom, addr(0, 0), SimTime::ZERO, t.read)
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(0, 0),
+            page(&geom, 0xAB),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let (data, done, health) = chip
+            .sense(&geom, &NO_FAULTS, addr(0, 0), SimTime::ZERO, t.read)
             .unwrap();
         assert_eq!(data, page(&geom, 0xAB));
+        assert_eq!(health, PageHealth::Clean);
         // Sense queues behind the in-flight program on the same chip.
         assert_eq!(done, SimTime::ZERO + t.prog + t.read);
     }
@@ -199,7 +347,13 @@ mod tests {
         let geom = FlashGeometry::small_for_tests();
         let mut chip = FlashChip::new(&geom, 0, 0);
         let err = chip
-            .sense(&geom, addr(0, 1), SimTime::ZERO, SimDur::from_us(20))
+            .sense(
+                &geom,
+                &NO_FAULTS,
+                addr(0, 1),
+                SimTime::ZERO,
+                SimDur::from_us(20),
+            )
             .unwrap_err();
         assert_eq!(err, FlashError::UnwrittenPage(addr(0, 1)));
     }
@@ -209,19 +363,42 @@ mod tests {
         let geom = FlashGeometry::small_for_tests();
         let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
-        chip.program(&geom, addr(1, 0), page(&geom, 1), SimTime::ZERO, t.prog)
-            .unwrap();
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(1, 0),
+            page(&geom, 1),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
         let err = chip
-            .program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
+            .program(
+                &geom,
+                &NO_FAULTS,
+                addr(1, 0),
+                page(&geom, 2),
+                SimTime::ZERO,
+                t.prog,
+            )
             .unwrap_err();
         assert_eq!(err, FlashError::ProgramWithoutErase(addr(1, 0)));
-        chip.erase_block(&geom, 0, 1, SimTime::ZERO, t.erase);
-        chip.program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
+        chip.erase_block(&geom, &NO_FAULTS, 0, 1, SimTime::ZERO, t.erase)
             .unwrap();
-        let (data, _) = chip
-            .sense(&geom, addr(1, 0), SimTime::ZERO, t.read)
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(1, 0),
+            page(&geom, 2),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let (data, _, _) = chip
+            .sense(&geom, &NO_FAULTS, addr(1, 0), SimTime::ZERO, t.read)
             .unwrap();
         assert_eq!(data, page(&geom, 2));
+        assert_eq!(chip.erase_count(&geom, 0, 1), 1);
     }
 
     #[test]
@@ -231,6 +408,7 @@ mod tests {
         let err = chip
             .program(
                 &geom,
+                &NO_FAULTS,
                 addr(0, 0),
                 Bytes::from_static(b"short"),
                 SimTime::ZERO,
@@ -245,14 +423,194 @@ mod tests {
         let geom = FlashGeometry::small_for_tests();
         let mut chip = FlashChip::new(&geom, 0, 0);
         let t = FlashTimingFixture::default();
-        chip.program(&geom, addr(0, 0), page(&geom, 1), SimTime::ZERO, t.prog)
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(0, 0),
+            page(&geom, 1),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(1, 0),
+            page(&geom, 2),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        chip.erase_block(&geom, &NO_FAULTS, 0, 0, SimTime::ZERO, t.erase)
             .unwrap();
-        chip.program(&geom, addr(1, 0), page(&geom, 2), SimTime::ZERO, t.prog)
-            .unwrap();
-        chip.erase_block(&geom, 0, 0, SimTime::ZERO, t.erase);
         assert!(!chip.is_written(&geom, addr(0, 0)));
         assert!(chip.is_written(&geom, addr(1, 0)));
         assert_eq!(chip.op_counts().2, 1);
+    }
+
+    #[test]
+    fn marginal_page_retries_and_charges_extra_senses() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(&geom, 0, 0);
+        let t = FlashTimingFixture::default();
+        // BER high enough that the first sense always exceeds the budget
+        // (lambda ~ 328 >> 40) but one retry always corrects (~82... still
+        // above, two levels: ~20 < 40).
+        let fault = FaultConfig::with_ber(7, 1e-2);
+        chip.program(
+            &geom,
+            &fault,
+            addr(0, 0),
+            page(&geom, 9),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let done_prog = chip.free_at();
+        let (_, done, health) = chip
+            .sense(&geom, &fault, addr(0, 0), SimTime::ZERO, t.read)
+            .unwrap();
+        let retries = health.retries();
+        assert!(
+            retries >= 1,
+            "lambda far above budget must retry: {health:?}"
+        );
+        // Each retry re-senses: chip occupied for (1 + retries) * tR.
+        assert_eq!(done, done_prog + t.read * (1 + retries as u64));
+    }
+
+    #[test]
+    fn uncorrectable_page_charges_full_ladder() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(&geom, 0, 0);
+        let t = FlashTimingFixture::default();
+        // No retry budget and lambda far beyond ECC: always uncorrectable.
+        let fault = FaultConfig {
+            read_retry_limit: 0,
+            ..FaultConfig::with_ber(7, 5e-2)
+        };
+        chip.program(
+            &geom,
+            &fault,
+            addr(0, 0),
+            page(&geom, 9),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let before = chip.busy_time();
+        let err = chip
+            .sense(&geom, &fault, addr(0, 0), SimTime::ZERO, t.read)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::Uncorrectable { errors, .. } if errors > 40));
+        assert_eq!(
+            chip.busy_time(),
+            before + t.read,
+            "failed sense still charged"
+        );
+    }
+
+    #[test]
+    fn program_failure_grows_block_bad() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(&geom, 0, 0);
+        let t = FlashTimingFixture::default();
+        let fault = FaultConfig {
+            enabled: true,
+            program_fail_prob: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let err = chip
+            .program(
+                &geom,
+                &fault,
+                addr(0, 0),
+                page(&geom, 1),
+                SimTime::ZERO,
+                t.prog,
+            )
+            .unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(addr(0, 0)));
+        assert!(chip.is_bad(&geom, 0, 0));
+        assert!(
+            !chip.is_written(&geom, addr(0, 0)),
+            "failed program stores nothing"
+        );
+        // Follow-up program on the grown-bad block is rejected up front.
+        let err = chip
+            .program(
+                &geom,
+                &fault,
+                addr(0, 1),
+                page(&geom, 1),
+                SimTime::ZERO,
+                t.prog,
+            )
+            .unwrap_err();
+        assert_eq!(err, FlashError::GrownBad(addr(0, 1)));
+    }
+
+    #[test]
+    fn erase_failure_grows_block_bad_and_keeps_data() {
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(&geom, 0, 0);
+        let t = FlashTimingFixture::default();
+        let ok = FaultConfig {
+            enabled: true,
+            ..FaultConfig::disabled()
+        };
+        chip.program(
+            &geom,
+            &ok,
+            addr(0, 0),
+            page(&geom, 3),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let fault = FaultConfig {
+            erase_fail_prob: 1.0,
+            ..ok
+        };
+        let err = chip
+            .erase_block(&geom, &fault, 0, 0, SimTime::ZERO, t.erase)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::EraseFailed { block: 0, .. }));
+        assert!(chip.is_bad(&geom, 0, 0));
+        assert!(
+            chip.is_written(&geom, addr(0, 0)),
+            "stale data survives a failed erase"
+        );
+        assert_eq!(
+            chip.erase_count(&geom, 0, 0),
+            0,
+            "failed erase is not an epoch"
+        );
+    }
+
+    #[test]
+    fn fault_free_sense_matches_legacy_timing() {
+        // The fault-injection hooks must be invisible when disabled: one
+        // sense, one tR, clean health, identical counters.
+        let geom = FlashGeometry::small_for_tests();
+        let mut chip = FlashChip::new(&geom, 0, 0);
+        let t = FlashTimingFixture::default();
+        chip.program(
+            &geom,
+            &NO_FAULTS,
+            addr(0, 0),
+            page(&geom, 1),
+            SimTime::ZERO,
+            t.prog,
+        )
+        .unwrap();
+        let busy_before = chip.busy_time();
+        let (_, _, health) = chip
+            .sense(&geom, &NO_FAULTS, addr(0, 0), SimTime::ZERO, t.read)
+            .unwrap();
+        assert_eq!(health, PageHealth::Clean);
+        assert_eq!(chip.busy_time(), busy_before + t.read);
+        assert_eq!(chip.op_counts().0, 1);
     }
 
     struct FlashTimingFixture {

@@ -1,0 +1,71 @@
+//! Process-wide reliability counters.
+//!
+//! The perf harness records, per experiment, how much reliability work the
+//! flash layer did: read-retry re-senses, ECC corrections, uncorrectable
+//! pages and grown bad blocks. Like the SSD crate's co-sim counters, these
+//! are cumulative across every array in the process (atomics, so parallel
+//! sweeps aggregate correctly); callers snapshot before/after a region and
+//! subtract.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static READ_RETRIES: AtomicU64 = AtomicU64::new(0);
+static ECC_CORRECTED: AtomicU64 = AtomicU64::new(0);
+static UNCORRECTABLE: AtomicU64 = AtomicU64::new(0);
+static GROWN_BAD: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide reliability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliabilityCounters {
+    /// Read-retry re-senses beyond initial senses.
+    pub read_retries: u64,
+    /// Pages needing ECC correction.
+    pub ecc_corrected: u64,
+    /// Reads uncorrectable after the full retry ladder.
+    pub uncorrectable: u64,
+    /// Blocks grown bad by program/erase failures.
+    pub grown_bad_blocks: u64,
+}
+
+impl ReliabilityCounters {
+    /// Counter deltas since an `earlier` snapshot.
+    pub fn since(self, earlier: ReliabilityCounters) -> ReliabilityCounters {
+        ReliabilityCounters {
+            read_retries: self.read_retries - earlier.read_retries,
+            ecc_corrected: self.ecc_corrected - earlier.ecc_corrected,
+            uncorrectable: self.uncorrectable - earlier.uncorrectable,
+            grown_bad_blocks: self.grown_bad_blocks - earlier.grown_bad_blocks,
+        }
+    }
+}
+
+/// Cumulative reliability counters over all flash arrays in this process.
+pub fn reliability_counters() -> ReliabilityCounters {
+    ReliabilityCounters {
+        read_retries: READ_RETRIES.load(Ordering::Relaxed),
+        ecc_corrected: ECC_CORRECTED.load(Ordering::Relaxed),
+        uncorrectable: UNCORRECTABLE.load(Ordering::Relaxed),
+        grown_bad_blocks: GROWN_BAD.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_read(retries: u64, corrected: bool) {
+    if retries > 0 {
+        READ_RETRIES.fetch_add(retries, Ordering::Relaxed);
+    }
+    if corrected {
+        ECC_CORRECTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn record_uncorrectable(retries: u64) {
+    if retries > 0 {
+        READ_RETRIES.fetch_add(retries, Ordering::Relaxed);
+    }
+    UNCORRECTABLE.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_grown_bad() {
+    GROWN_BAD.fetch_add(1, Ordering::Relaxed);
+}

@@ -22,6 +22,28 @@ pub enum FlashError {
         /// Bytes required.
         want: usize,
     },
+    /// Raw bit errors exceeded ECC even after the full read-retry ladder.
+    Uncorrectable {
+        /// Offending address.
+        addr: PhysPageAddr,
+        /// Raw bit errors on the final (best) retry level.
+        errors: u32,
+    },
+    /// A program operation failed; the block is now grown-bad.
+    ProgramFailed(PhysPageAddr),
+    /// An erase operation failed; the block is now grown-bad.
+    EraseFailed {
+        /// Channel of the failed block.
+        channel: u32,
+        /// Chip of the failed block.
+        chip: u32,
+        /// Plane of the failed block.
+        plane: u32,
+        /// The block that failed to erase.
+        block: u32,
+    },
+    /// The operation targeted a block already marked grown-bad.
+    GrownBad(PhysPageAddr),
 }
 
 impl fmt::Display for FlashError {
@@ -35,6 +57,23 @@ impl fmt::Display for FlashError {
             FlashError::BadPageSize { addr, got, want } => {
                 write!(f, "page {addr} data is {got} bytes, geometry wants {want}")
             }
+            FlashError::Uncorrectable { addr, errors } => {
+                write!(
+                    f,
+                    "uncorrectable media error at {addr}: {errors} raw bit errors after read-retry"
+                )
+            }
+            FlashError::ProgramFailed(a) => write!(f, "program failed at {a}; block grown bad"),
+            FlashError::EraseFailed {
+                channel,
+                chip,
+                plane,
+                block,
+            } => write!(
+                f,
+                "erase failed at ch{channel}.chip{chip}.pl{plane}.blk{block}; block grown bad"
+            ),
+            FlashError::GrownBad(a) => write!(f, "operation on grown-bad block at {a}"),
         }
     }
 }

@@ -1,0 +1,329 @@
+//! Deterministic NAND fault injection: raw bit errors, ECC, read-retry.
+//!
+//! Real NAND does not fail structurally — it fails *statistically*: every
+//! sense returns some raw bit errors, the controller's ECC corrects up to a
+//! fixed budget per page, and marginal pages are re-sensed with shifted read
+//! references (read-retry) until they correct or are declared uncorrectable.
+//! Programs and erases can fail outright, growing the bad-block list.
+//! SimpleSSD and Amber both argue that holistic SSD evaluation must model
+//! these internal reliability behaviors; this module adds them to the
+//! functional array without disturbing the fault-free timing model.
+//!
+//! Everything is **deterministic**: error counts are drawn from a counter-
+//! based RNG (splitmix64 finalizer) keyed on `(seed, physical page, program
+//! epoch, op sequence)`, so a replay of the same operation sequence draws
+//! byte-identical faults — the property the reliability experiment's
+//! determinism test pins. No global RNG state is shared between chips, so
+//! parallel sweeps stay reproducible.
+//!
+//! The error-count draw approximates a Poisson(λ) with a clamped normal:
+//! λ = `page_bits · raw_ber · (1 + wear_factor · erase_count) · retention ·
+//! retry_shrink^attempt`, and the deviate's z-score comes from an
+//! Irwin–Hall sum of four uniforms (bounded ±2√3). The bounded tail is
+//! deliberate: with λ well under the ECC budget the page always corrects,
+//! and the retry ladder's geometric shrink makes each re-sense strictly
+//! more likely to succeed — mirroring how shifted read references recover
+//! retention-shifted cells. (`f64` add/mul/sqrt are IEEE-exact, so the
+//! draws are bit-stable across platforms; no `ln`/`exp` involved.)
+
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection knobs for a [`FlashArray`](crate::FlashArray).
+///
+/// `enabled: false` (the default) short-circuits every fault check, so a
+/// fault-free array is byte-identical — in data, timing and stats — to one
+/// built before this model existed; golden report hashes pin that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master switch; `false` bypasses all draws and checks.
+    pub enabled: bool,
+    /// Seed mixed into every draw; same seed ⇒ byte-identical replay.
+    pub seed: u64,
+    /// Raw bit-error probability per stored bit on the first sense.
+    pub raw_ber: f64,
+    /// BER multiplier per block erase: `1 + wear_factor * erase_count`.
+    pub wear_factor: f64,
+    /// Retention-stress multiplier on the BER (1.0 = freshly written).
+    pub retention: f64,
+    /// Correctable raw bit errors per page (the ECC budget, e.g. BCH-t).
+    pub ecc_bits: u32,
+    /// Maximum read-retry re-senses after the initial sense.
+    pub read_retry_limit: u32,
+    /// Residual error fraction surviving each retry level's shifted read
+    /// reference (geometric shrink of λ).
+    pub retry_shrink: f64,
+    /// Probability a program operation fails, growing the block bad.
+    pub program_fail_prob: f64,
+    /// Probability an erase operation fails, growing the block bad.
+    pub erase_fail_prob: f64,
+}
+
+impl FaultConfig {
+    /// Fault injection off; all other knobs at their documented defaults.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            enabled: false,
+            seed: 0,
+            raw_ber: 0.0,
+            wear_factor: 1e-3,
+            retention: 1.0,
+            ecc_bits: 40,
+            read_retry_limit: 4,
+            retry_shrink: 0.25,
+            program_fail_prob: 0.0,
+            erase_fail_prob: 0.0,
+        }
+    }
+
+    /// Fault injection on at the given seed and raw BER, everything else
+    /// default — the shape the reliability sweep uses.
+    pub fn with_ber(seed: u64, raw_ber: f64) -> Self {
+        FaultConfig {
+            enabled: true,
+            seed,
+            raw_ber,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Mean raw bit errors for one sense of a `page_bits`-bit page in a
+    /// block erased `erase_count` times, at retry level `attempt`
+    /// (0 = initial sense).
+    fn lambda(&self, page_bits: u64, erase_count: u32, attempt: u32) -> f64 {
+        page_bits as f64
+            * self.raw_ber
+            * (1.0 + self.wear_factor * erase_count as f64)
+            * self.retention
+            * self.retry_shrink.powi(attempt as i32)
+    }
+
+    /// Draws the raw bit-error count for one sense. Pure: the outcome
+    /// depends only on the config and the key material.
+    pub(crate) fn draw_errors(
+        &self,
+        page_bits: u64,
+        erase_count: u32,
+        attempt: u32,
+        key: u64,
+    ) -> u32 {
+        let lambda = self.lambda(page_bits, erase_count, attempt);
+        if lambda <= 0.0 {
+            return 0;
+        }
+        // Irwin–Hall(4): sum of four uniforms, mean 2, variance 1/3.
+        let mut sum = 0.0;
+        for i in 0..4u64 {
+            sum += unit(mix(key ^ mix(attempt as u64 + 1) ^ mix(0x5EED + i)));
+        }
+        let z = (sum - 2.0) * SQRT_3;
+        let errors = lambda + z * lambda.sqrt();
+        if errors <= 0.0 {
+            0
+        } else {
+            errors.round() as u32
+        }
+    }
+
+    /// Deterministic Bernoulli draw for a program failure.
+    pub(crate) fn draw_program_fail(&self, key: u64) -> bool {
+        self.program_fail_prob > 0.0 && unit(mix(key ^ PROGRAM_SALT)) < self.program_fail_prob
+    }
+
+    /// Deterministic Bernoulli draw for an erase failure.
+    pub(crate) fn draw_erase_fail(&self, key: u64) -> bool {
+        self.erase_fail_prob > 0.0 && unit(mix(key ^ ERASE_SALT)) < self.erase_fail_prob
+    }
+
+    /// Key material for one operation: the seed, the page's linear index
+    /// (or block identity for erases), the program epoch (block erase
+    /// count — data written after an erase sees fresh draws), and a
+    /// monotone per-chip sequence number (so SSD-level re-reads of the
+    /// same page re-draw instead of replaying the same marginal sense).
+    pub(crate) fn op_key(&self, linear: u64, epoch: u32, seq: u64) -> u64 {
+        mix(self.seed ^ mix(linear ^ 0x9E37_79B9_7F4A_7C15) ^ mix(epoch as u64) ^ mix(seq))
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+const SQRT_3: f64 = 1.732_050_807_568_877_2;
+const PROGRAM_SALT: u64 = 0xBAD0_B10C_0000_0001;
+const ERASE_SALT: u64 = 0xE1A5_E5A1_7C0F_FEE5;
+
+/// splitmix64 finalizer: a bijective avalanche mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// ECC outcome of a successful (correctable) page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageHealth {
+    /// No raw bit errors.
+    Clean,
+    /// Corrected within the ECC budget on the first sense.
+    Corrected {
+        /// Raw bit errors corrected.
+        bits: u32,
+    },
+    /// Needed `retries` read-retry re-senses before correcting.
+    Retried {
+        /// Re-senses beyond the initial sense.
+        retries: u32,
+        /// Raw bit errors corrected on the final sense.
+        bits: u32,
+    },
+}
+
+impl PageHealth {
+    /// Re-senses charged beyond the initial one.
+    pub fn retries(self) -> u32 {
+        match self {
+            PageHealth::Retried { retries, .. } => retries,
+            _ => 0,
+        }
+    }
+
+    /// True if ECC had to correct at least one bit.
+    pub fn corrected(self) -> bool {
+        !matches!(self, PageHealth::Clean)
+    }
+}
+
+/// Cumulative reliability counters for one [`FlashArray`](crate::FlashArray).
+///
+/// Never reset by the experiment-phase `reset_time`/`reset_stats` calls:
+/// faults during dataset loading (program failures growing bad blocks) are
+/// part of the device's history and must stay visible in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReliabilityStats {
+    /// Pages sensed through the timed read path.
+    pub page_reads: u64,
+    /// Pages that needed ECC correction (with or without retries).
+    pub ecc_corrected: u64,
+    /// Read-retry re-senses charged beyond initial senses.
+    pub read_retries: u64,
+    /// Reads that stayed uncorrectable after the full retry ladder.
+    pub uncorrectable: u64,
+    /// Program operations that failed, growing their block bad.
+    pub program_fails: u64,
+    /// Erase operations that failed, growing their block bad.
+    pub erase_fails: u64,
+    /// Blocks grown bad (program + erase failures).
+    pub grown_bad_blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ber: f64) -> FaultConfig {
+        FaultConfig::with_ber(0xA55A, ber)
+    }
+
+    #[test]
+    fn disabled_config_draws_nothing() {
+        let c = FaultConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.draw_errors(4096 * 8, 100, 0, 42), 0);
+        assert!(!c.draw_program_fail(42));
+        assert!(!c.draw_erase_fail(42));
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let c = cfg(1e-3);
+        let key = c.op_key(77, 3, 9);
+        assert_eq!(
+            c.draw_errors(4096 * 8, 3, 1, key),
+            c.draw_errors(4096 * 8, 3, 1, key)
+        );
+        assert_eq!(c.draw_program_fail(key), c.draw_program_fail(key));
+    }
+
+    #[test]
+    fn distinct_keys_decorrelate() {
+        let c = cfg(1e-3);
+        let a: Vec<u32> = (0..64)
+            .map(|i| c.draw_errors(4096 * 8, 0, 0, c.op_key(i, 0, 0)))
+            .collect();
+        let b: Vec<u32> = (0..64)
+            .map(|i| c.draw_errors(4096 * 8, 0, 0, c.op_key(i, 1, 0)))
+            .collect();
+        assert_ne!(a, b, "program epoch must change the draws");
+        let distinct: std::collections::BTreeSet<_> = a.iter().collect();
+        assert!(distinct.len() > 4, "draws vary across pages: {a:?}");
+    }
+
+    #[test]
+    fn error_counts_track_lambda() {
+        let c = cfg(1e-3);
+        let page_bits = 4096 * 8;
+        let lambda = page_bits as f64 * 1e-3;
+        let mean: f64 = (0..256)
+            .map(|i| c.draw_errors(page_bits, 0, 0, c.op_key(i, 0, i)) as f64)
+            .sum::<f64>()
+            / 256.0;
+        assert!(
+            (mean - lambda).abs() < lambda * 0.2,
+            "mean {mean} vs lambda {lambda}"
+        );
+    }
+
+    #[test]
+    fn retries_shrink_the_error_count() {
+        let c = cfg(1e-2);
+        let page_bits = 4096 * 8;
+        let key = c.op_key(5, 0, 0);
+        let first = c.draw_errors(page_bits, 0, 0, key);
+        let third = c.draw_errors(page_bits, 0, 3, key);
+        assert!(
+            third < first / 8,
+            "retry level 3 ({third}) should be far below level 0 ({first})"
+        );
+    }
+
+    #[test]
+    fn wear_and_retention_scale_errors_up() {
+        let c = cfg(1e-3);
+        let worn = FaultConfig {
+            wear_factor: 0.1,
+            ..c
+        };
+        assert!(worn.lambda(4096 * 8, 50, 0) > c.lambda(4096 * 8, 50, 0));
+        let stale = FaultConfig {
+            retention: 4.0,
+            ..c
+        };
+        assert!(stale.lambda(4096 * 8, 0, 0) > c.lambda(4096 * 8, 0, 0));
+    }
+
+    #[test]
+    fn fail_draws_respect_probability_extremes() {
+        let never = FaultConfig {
+            program_fail_prob: 0.0,
+            erase_fail_prob: 0.0,
+            ..cfg(0.0)
+        };
+        let always = FaultConfig {
+            program_fail_prob: 1.0,
+            erase_fail_prob: 1.0,
+            ..cfg(0.0)
+        };
+        for k in 0..32 {
+            assert!(!never.draw_program_fail(k) && !never.draw_erase_fail(k));
+            assert!(always.draw_program_fail(k) && always.draw_erase_fail(k));
+        }
+    }
+}

@@ -32,12 +32,16 @@
 
 mod array;
 mod chip;
+mod counters;
 mod error;
+mod fault;
 mod geometry;
 mod timing;
 
 pub use array::{ChannelStats, FlashArray};
 pub use chip::FlashChip;
+pub use counters::{reliability_counters, ReliabilityCounters};
 pub use error::FlashError;
+pub use fault::{FaultConfig, PageHealth, ReliabilityStats};
 pub use geometry::{FlashGeometry, PhysPageAddr};
 pub use timing::FlashTiming;

@@ -1,7 +1,7 @@
 //! FTL errors.
 
 use crate::Lpa;
-use assasin_flash::FlashError;
+use assasin_flash::{FlashError, PhysPageAddr};
 use std::error::Error;
 use std::fmt;
 
@@ -14,6 +14,16 @@ pub enum FtlError {
     OutOfCapacity(Lpa),
     /// The drive has no free blocks left even after garbage collection.
     DeviceFull,
+    /// A page's raw bit errors exceeded ECC even after the read-retry
+    /// ladder: the logical page is lost at the media level.
+    Uncorrectable {
+        /// The logical page that could not be read.
+        lpa: Lpa,
+        /// Its physical location.
+        addr: PhysPageAddr,
+        /// Raw bit errors on the final retry level.
+        errors: u32,
+    },
     /// An underlying flash operation failed (an FTL invariant violation).
     Flash(FlashError),
 }
@@ -26,6 +36,10 @@ impl fmt::Display for FtlError {
                 write!(f, "logical page {lpa} exceeds exported capacity")
             }
             FtlError::DeviceFull => write!(f, "no free blocks available after garbage collection"),
+            FtlError::Uncorrectable { lpa, addr, errors } => write!(
+                f,
+                "uncorrectable media error reading {lpa} at {addr}: {errors} raw bit errors"
+            ),
             FtlError::Flash(e) => write!(f, "flash operation failed: {e}"),
         }
     }

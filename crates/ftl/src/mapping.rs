@@ -2,7 +2,7 @@
 
 use crate::placement::Placement;
 use crate::FtlError;
-use assasin_flash::{FlashArray, FlashGeometry, PhysPageAddr};
+use assasin_flash::{FlashArray, FlashError, FlashGeometry, PhysPageAddr};
 use assasin_sim::SimTime;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -25,10 +25,19 @@ impl fmt::Display for Lpa {
 pub struct FtlStats {
     /// Pages written on behalf of the host.
     pub host_writes: u64,
-    /// Pages relocated by garbage collection.
+    /// Pages relocated by garbage collection (including bad-block
+    /// retirement relocations).
     pub gc_relocations: u64,
     /// Blocks erased.
     pub erases: u64,
+    /// Read-retry re-senses performed beyond initial senses.
+    pub read_retries: u64,
+    /// Page reads that needed ECC correction.
+    pub ecc_corrected: u64,
+    /// Page reads that stayed uncorrectable after the retry ladder.
+    pub uncorrectable: u64,
+    /// Blocks retired as grown-bad after program/erase failures.
+    pub grown_bad_blocks: u64,
 }
 
 impl FtlStats {
@@ -53,6 +62,9 @@ struct PlaneState {
     valid: Vec<u32>,
     /// Erase count per block (wear).
     erase_count: Vec<u32>,
+    /// Grown-bad flags: retired blocks are never allocated, GC'd or
+    /// erased again.
+    bad: Vec<bool>,
 }
 
 impl PlaneState {
@@ -62,6 +74,7 @@ impl PlaneState {
             active: None,
             valid: vec![0; blocks as usize],
             erase_count: vec![0; blocks as usize],
+            bad: vec![false; blocks as usize],
         }
     }
 
@@ -109,7 +122,15 @@ pub struct Ftl {
 }
 
 /// L2P chunk granularity, in LPAs (24 KiB of table per allocated chunk).
-const L2P_CHUNK: usize = 1024;
+const L2P_CHUNK: u64 = 1024;
+
+/// Splits an LPA into its L2P chunk number and intra-chunk offset. The
+/// chunk math stays in `u64` — casting the LPA to `usize` first would
+/// silently truncate addresses above 4G pages on 32-bit targets; only the
+/// bounded intra-chunk offset (< [`L2P_CHUNK`]) is narrowed.
+fn l2p_slot(lpa: u64) -> (usize, usize) {
+    ((lpa / L2P_CHUNK) as usize, (lpa % L2P_CHUNK) as usize)
+}
 
 impl Ftl {
     /// Minimum free blocks per plane before GC kicks in.
@@ -170,23 +191,22 @@ impl Ftl {
 
     /// Translates a logical page to its current physical location.
     pub fn translate(&self, lpa: Lpa) -> Option<PhysPageAddr> {
-        let i = lpa.0 as usize;
-        self.map.get(i / L2P_CHUNK)?.as_ref()?[i % L2P_CHUNK]
+        let (chunk, off) = l2p_slot(lpa.0);
+        self.map.get(chunk)?.as_ref()?[off]
     }
 
     fn map_insert(&mut self, lpa: u64, addr: PhysPageAddr) {
-        let i = lpa as usize;
-        let chunk = i / L2P_CHUNK;
+        let (chunk, off) = l2p_slot(lpa);
         if chunk >= self.map.len() {
             self.map.resize_with(chunk + 1, || None);
         }
-        self.map[chunk].get_or_insert_with(|| vec![None; L2P_CHUNK].into_boxed_slice())
-            [i % L2P_CHUNK] = Some(addr);
+        self.map[chunk].get_or_insert_with(|| vec![None; L2P_CHUNK as usize].into_boxed_slice())
+            [off] = Some(addr);
     }
 
     fn map_remove(&mut self, lpa: u64) -> Option<PhysPageAddr> {
-        let i = lpa as usize;
-        self.map.get_mut(i / L2P_CHUNK)?.as_mut()?[i % L2P_CHUNK].take()
+        let (chunk, off) = l2p_slot(lpa);
+        self.map.get_mut(chunk)?.as_mut()?[off].take()
     }
 
     fn plane_index(&self, channel: u32, chip: u32, plane: u32) -> usize {
@@ -301,23 +321,8 @@ impl Ftl {
         data: Bytes,
         now: SimTime,
     ) -> Result<SimTime, FtlError> {
-        if lpa.0 >= self.exported_pages {
-            return Err(FtlError::OutOfCapacity(lpa));
-        }
-        // Invalidate any previous version.
-        if let Some(old) = self.map_remove(lpa.0) {
-            self.reverse.remove(&old);
-            let pi = self.plane_index(old.channel, old.chip, old.plane);
-            let v = &mut self.planes[pi].valid[old.block as usize];
-            *v = v.saturating_sub(1);
-        }
-        let (channel, chip, plane) = self.next_location();
-        let addr = self.alloc_with_fallback(array, channel, chip, plane, now)?;
-        let done = array.write_page(addr, data, now)?;
-        self.map_insert(lpa.0, addr);
-        self.reverse.insert(addr, lpa.0);
-        self.stats.host_writes += 1;
-        Ok(done)
+        self.write_detailed(array, lpa, data, now)
+            .map(|(_, prog)| prog)
     }
 
     /// Like [`Ftl::write`] but returns `(bus_done, program_done)`: the
@@ -337,26 +342,44 @@ impl Ftl {
         if lpa.0 >= self.exported_pages {
             return Err(FtlError::OutOfCapacity(lpa));
         }
-        if let Some(old) = self.map_remove(lpa.0) {
-            self.reverse.remove(&old);
-            let pi = self.plane_index(old.channel, old.chip, old.plane);
-            let v = &mut self.planes[pi].valid[old.block as usize];
-            *v = v.saturating_sub(1);
+        loop {
+            let (channel, chip, plane) = self.next_location();
+            let addr = self.alloc_with_fallback(array, channel, chip, plane, now)?;
+            match array.write_page_detailed(addr, data.clone(), now) {
+                Ok(times) => {
+                    // Invalidate the previous version only now that the new
+                    // one is durable: a failed or redirected write must
+                    // never lose the data it was replacing.
+                    if let Some(old) = self.map_remove(lpa.0) {
+                        self.reverse.remove(&old);
+                        let pi = self.plane_index(old.channel, old.chip, old.plane);
+                        let v = &mut self.planes[pi].valid[old.block as usize];
+                        *v = v.saturating_sub(1);
+                    }
+                    self.map_insert(lpa.0, addr);
+                    self.reverse.insert(addr, lpa.0);
+                    self.stats.host_writes += 1;
+                    return Ok(times);
+                }
+                // The program failed, growing the block bad: retire it
+                // (its valid neighbors relocate), then retry elsewhere.
+                // Terminates because each round retires a block and the
+                // allocator never hands one out again; a device with no
+                // good blocks left fails the allocation with DeviceFull.
+                Err(FlashError::ProgramFailed(bad)) | Err(FlashError::GrownBad(bad)) => {
+                    self.retire_block(array, bad, now)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        let (channel, chip, plane) = self.next_location();
-        let addr = self.alloc_with_fallback(array, channel, chip, plane, now)?;
-        let times = array.write_page_detailed(addr, data, now)?;
-        self.map_insert(lpa.0, addr);
-        self.reverse.insert(addr, lpa.0);
-        self.stats.host_writes += 1;
-        Ok(times)
     }
 
     /// Reads one logical page. Returns the data and its bus arrival time.
     ///
     /// # Errors
     ///
-    /// Fails if the page was never written.
+    /// Fails if the page was never written, or (with fault injection) the
+    /// media could not deliver it within ECC + read-retry capability.
     pub fn read(
         &mut self,
         array: &mut FlashArray,
@@ -364,7 +387,149 @@ impl Ftl {
         now: SimTime,
     ) -> Result<(Bytes, SimTime), FtlError> {
         let addr = self.translate(lpa).ok_or(FtlError::Unmapped(lpa))?;
-        Ok(array.read_page(addr, now)?)
+        self.read_phys(array, lpa, addr, now)
+    }
+
+    /// Timed physical read with reliability accounting: retry and
+    /// correction counts land in [`FtlStats`]; an uncorrectable page
+    /// surfaces as a typed error carrying both addresses.
+    fn read_phys(
+        &mut self,
+        array: &mut FlashArray,
+        lpa: Lpa,
+        addr: PhysPageAddr,
+        now: SimTime,
+    ) -> Result<(Bytes, SimTime), FtlError> {
+        match array.read_page_detailed(addr, now) {
+            Ok((data, done, health)) => {
+                self.stats.read_retries += health.retries() as u64;
+                if health.corrected() {
+                    self.stats.ecc_corrected += 1;
+                }
+                Ok((data, done))
+            }
+            Err(FlashError::Uncorrectable { addr, errors }) => {
+                self.stats.read_retries += array.fault_config().read_retry_limit as u64;
+                self.stats.uncorrectable += 1;
+                Err(FtlError::Uncorrectable { lpa, addr, errors })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Marks a block grown-bad, removing it from the allocator for good.
+    /// Returns false if it was already retired.
+    fn mark_bad(&mut self, channel: u32, chip: u32, plane: u32, block: u32) -> bool {
+        let pi = self.plane_index(channel, chip, plane);
+        let state = &mut self.planes[pi];
+        if state.bad[block as usize] {
+            return false;
+        }
+        state.bad[block as usize] = true;
+        state.free_blocks.retain(|&b| b != block);
+        if state.active.map(|(b, _)| b) == Some(block) {
+            state.active = None;
+        }
+        self.stats.grown_bad_blocks += 1;
+        true
+    }
+
+    /// Retires a grown-bad block: drops it from the allocator and
+    /// relocates its still-valid pages through the GC write path (failed
+    /// programs leave earlier pages in the block readable — NAND grows
+    /// bad a block at a time, not a page at a time). Relocation targets
+    /// whose own programs fail are retired too, via a worklist; this
+    /// terminates because every round marks a previously-good block bad.
+    fn retire_block(
+        &mut self,
+        array: &mut FlashArray,
+        first: PhysPageAddr,
+        now: SimTime,
+    ) -> Result<(), FtlError> {
+        let mut pending = Vec::new();
+        if self.mark_bad(first.channel, first.chip, first.plane, first.block) {
+            pending.push((first.channel, first.chip, first.plane, first.block));
+        }
+        while let Some((channel, chip, plane, block)) = pending.pop() {
+            let lpas: Vec<(u32, u64)> = (0..self.geom.pages_per_block)
+                .filter_map(|p| {
+                    let addr = PhysPageAddr {
+                        channel,
+                        chip,
+                        plane,
+                        block,
+                        page: p,
+                    };
+                    self.reverse.get(&addr).map(|&l| (p, l))
+                })
+                .collect();
+            for (p, lpa) in lpas {
+                let old = PhysPageAddr {
+                    channel,
+                    chip,
+                    plane,
+                    block,
+                    page: p,
+                };
+                let (data, _) = self.read_phys(array, Lpa(lpa), old, now)?;
+                loop {
+                    let new = self.alloc_relocation_target(array, channel, chip, plane, now)?;
+                    match array.write_page(new, data.clone(), now) {
+                        Ok(_) => {
+                            self.map_insert(lpa, new);
+                            self.reverse.remove(&old);
+                            self.reverse.insert(new, lpa);
+                            self.stats.gc_relocations += 1;
+                            break;
+                        }
+                        Err(FlashError::ProgramFailed(a)) | Err(FlashError::GrownBad(a)) => {
+                            if self.mark_bad(a.channel, a.chip, a.plane, a.block) {
+                                pending.push((a.channel, a.chip, a.plane, a.block));
+                            } else {
+                                // The allocator handed out a block already
+                                // retired — inconsistent state; fail rather
+                                // than spin.
+                                return Err(FtlError::DeviceFull);
+                            }
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            let pi = self.plane_index(channel, chip, plane);
+            self.planes[pi].valid[block as usize] = 0;
+        }
+        Ok(())
+    }
+
+    /// Allocation for relocation writes: preferred plane first, then any
+    /// plane, always from the GC reserve (`allow_gc: false`) so retirement
+    /// never recurses into collection.
+    fn alloc_relocation_target(
+        &mut self,
+        array: &mut FlashArray,
+        channel: u32,
+        chip: u32,
+        plane: u32,
+        now: SimTime,
+    ) -> Result<PhysPageAddr, FtlError> {
+        match self.alloc_in_plane(array, channel, chip, plane, now, false) {
+            Ok(a) => return Ok(a),
+            Err(FtlError::DeviceFull) => {}
+            Err(e) => return Err(e),
+        }
+        for ch in 0..self.geom.channels {
+            for c in 0..self.geom.chips_per_channel {
+                for pl in 0..self.geom.planes_per_chip {
+                    match self.alloc_in_plane(array, ch, c, pl, now, false) {
+                        Ok(a) => return Ok(a),
+                        Err(FtlError::DeviceFull) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Err(FtlError::DeviceFull)
     }
 
     /// Garbage-collects one victim block in the given plane: relocates its
@@ -378,12 +543,13 @@ impl Ftl {
         now: SimTime,
     ) -> Result<(), FtlError> {
         let pi = self.plane_index(channel, chip, plane);
-        // Victim: fewest valid pages among fully-written, non-free blocks.
+        // Victim: fewest valid pages among fully-written, non-free,
+        // non-retired blocks.
         let state = &self.planes[pi];
         let is_free = |b: u32| state.free_blocks.contains(&b);
         let active_block = state.active.map(|(b, _)| b);
         let victim = (0..self.geom.blocks_per_plane)
-            .filter(|&b| !is_free(b) && Some(b) != active_block)
+            .filter(|&b| !is_free(b) && !state.bad[b as usize] && Some(b) != active_block)
             .min_by_key(|&b| state.valid[b as usize]);
         let Some(victim) = victim else {
             return Ok(());
@@ -409,20 +575,43 @@ impl Ftl {
                 block: victim,
                 page: p,
             };
-            let (data, _) = array.read_page(old, now)?;
-            let new = self.alloc_in_plane(array, channel, chip, plane, now, false)?;
-            array.write_page(new, data, now)?;
-            self.map_insert(lpa, new);
-            self.reverse.remove(&old);
-            self.reverse.insert(new, lpa);
-            self.stats.gc_relocations += 1;
+            let (data, _) = self.read_phys(array, Lpa(lpa), old, now)?;
+            loop {
+                let new = self.alloc_in_plane(array, channel, chip, plane, now, false)?;
+                match array.write_page(new, data.clone(), now) {
+                    Ok(_) => {
+                        self.map_insert(lpa, new);
+                        self.reverse.remove(&old);
+                        self.reverse.insert(new, lpa);
+                        self.stats.gc_relocations += 1;
+                        break;
+                    }
+                    // The relocation target failed mid-GC: retire it and
+                    // try a fresh target for this page.
+                    Err(FlashError::ProgramFailed(a)) | Err(FlashError::GrownBad(a)) => {
+                        self.retire_block(array, a, now)?;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
-        array.erase_block(channel, chip, plane, victim, now)?;
-        let state = &mut self.planes[pi];
-        state.valid[victim as usize] = 0;
-        state.erase_count[victim as usize] += 1;
-        state.free_blocks.push(victim);
-        self.stats.erases += 1;
+        match array.erase_block(channel, chip, plane, victim, now) {
+            Ok(_) => {
+                let state = &mut self.planes[pi];
+                state.valid[victim as usize] = 0;
+                state.erase_count[victim as usize] += 1;
+                state.free_blocks.push(victim);
+                self.stats.erases += 1;
+            }
+            // A failed erase grows the victim bad. Its valid pages were
+            // already relocated above, so it simply never returns to the
+            // free list.
+            Err(FlashError::EraseFailed { .. }) => {
+                self.mark_bad(channel, chip, plane, victim);
+                self.planes[pi].valid[victim as usize] = 0;
+            }
+            Err(e) => return Err(e.into()),
+        }
         Ok(())
     }
 
@@ -459,7 +648,7 @@ impl Ftl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use assasin_flash::FlashTiming;
+    use assasin_flash::{FaultConfig, FlashTiming};
 
     fn setup() -> (FlashArray, Ftl, FlashGeometry) {
         let geom = FlashGeometry::small_for_tests();
@@ -570,6 +759,121 @@ mod tests {
         let dist = ftl.channel_distribution((0..n).map(Lpa));
         let got = crate::skew::measure_skew(&dist);
         assert!((got - 0.5).abs() < 0.02, "got skew {got}");
+    }
+
+    #[test]
+    fn program_failures_grow_bad_blocks_and_preserve_data() {
+        let geom = FlashGeometry::default();
+        let fault = FaultConfig {
+            program_fail_prob: 0.02,
+            ..FaultConfig::with_ber(0x5EED, 0.0)
+        };
+        let mut arr = FlashArray::with_faults(geom, FlashTiming::default(), fault);
+        let mut ftl = Ftl::new(geom);
+        let n = 2048u64;
+        for i in 0..n {
+            ftl.write(&mut arr, Lpa(i), page(&geom, i as u8), SimTime::ZERO)
+                .unwrap();
+        }
+        let stats = ftl.stats();
+        assert!(
+            stats.grown_bad_blocks > 0,
+            "2% program failures over {n} writes must retire blocks"
+        );
+        assert_eq!(
+            stats.grown_bad_blocks,
+            arr.reliability_stats().grown_bad_blocks,
+            "FTL and flash agree on grown-bad accounting"
+        );
+        // Every logical page — including those relocated out of retired
+        // blocks — still reads back its own data.
+        for i in 0..n {
+            let (data, _) = ftl.read(&mut arr, Lpa(i), SimTime::ZERO).unwrap();
+            assert_eq!(data, page(&geom, i as u8), "lpa {i}");
+            let loc = ftl.translate(Lpa(i)).unwrap();
+            assert!(
+                !arr.is_bad_block(loc.channel, loc.chip, loc.plane, loc.block),
+                "lpa {i} must not live on a grown-bad block"
+            );
+        }
+    }
+
+    #[test]
+    fn erase_failures_retire_victims_gracefully() {
+        let geom = FlashGeometry::small_for_tests();
+        let fault = FaultConfig {
+            erase_fail_prob: 1.0,
+            ..FaultConfig::with_ber(3, 0.0)
+        };
+        let mut arr = FlashArray::with_faults(geom, FlashTiming::default(), fault);
+        let mut ftl = Ftl::new(geom);
+        // Churn overwrites until the shrinking good-block pool is gone;
+        // the FTL must degrade to DeviceFull, never panic or corrupt.
+        let mut last_ok = Vec::new();
+        'outer: for round in 0..200u64 {
+            for lpa in 0..4u64 {
+                let fill = (round * 4 + lpa) as u8;
+                match ftl.write(&mut arr, Lpa(lpa), page(&geom, fill), SimTime::ZERO) {
+                    Ok(_) => {
+                        last_ok.resize(4.max(lpa as usize + 1), 0);
+                        last_ok[lpa as usize] = fill;
+                    }
+                    Err(FtlError::DeviceFull) => break 'outer,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        assert!(
+            ftl.stats().grown_bad_blocks > 0,
+            "every erase fails, so GC must have retired victims"
+        );
+        // Pages written before the device filled are still readable.
+        for (lpa, &fill) in last_ok.iter().enumerate() {
+            let (data, _) = ftl.read(&mut arr, Lpa(lpa as u64), SimTime::ZERO).unwrap();
+            assert_eq!(data, page(&geom, fill), "lpa {lpa}");
+        }
+    }
+
+    #[test]
+    fn uncorrectable_read_surfaces_typed_error() {
+        let geom = FlashGeometry::small_for_tests();
+        let fault = FaultConfig {
+            read_retry_limit: 0,
+            ..FaultConfig::with_ber(1, 5e-2)
+        };
+        let mut arr = FlashArray::with_faults(geom, FlashTiming::default(), fault);
+        let mut ftl = Ftl::new(geom);
+        ftl.write(&mut arr, Lpa(0), page(&geom, 0x11), SimTime::ZERO)
+            .unwrap();
+        let err = ftl.read(&mut arr, Lpa(0), SimTime::ZERO).unwrap_err();
+        match err {
+            FtlError::Uncorrectable { lpa, addr, errors } => {
+                assert_eq!(lpa, Lpa(0));
+                assert_eq!(addr, ftl.translate(Lpa(0)).unwrap());
+                assert!(errors > 0);
+            }
+            other => panic!("expected Uncorrectable, got {other:?}"),
+        }
+        assert_eq!(ftl.stats().uncorrectable, 1);
+    }
+
+    #[test]
+    fn marginal_reads_count_retries_and_corrections() {
+        let geom = FlashGeometry::small_for_tests();
+        let fault = FaultConfig::with_ber(7, 1e-2);
+        let mut arr = FlashArray::with_faults(geom, FlashTiming::default(), fault);
+        let mut ftl = Ftl::new(geom);
+        ftl.write(&mut arr, Lpa(0), page(&geom, 0x22), SimTime::ZERO)
+            .unwrap();
+        let (data, _) = ftl.read(&mut arr, Lpa(0), SimTime::ZERO).unwrap();
+        assert_eq!(data, page(&geom, 0x22));
+        let stats = ftl.stats();
+        assert!(
+            stats.read_retries >= 1,
+            "lambda far above budget: {stats:?}"
+        );
+        assert_eq!(stats.ecc_corrected, 1);
+        assert_eq!(stats.uncorrectable, 0);
     }
 
     #[test]

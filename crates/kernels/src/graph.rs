@@ -127,7 +127,8 @@ mod tests {
         let data = edges_to_bytes(&[(MAX_VERTICES + 5, u32::MAX)]);
         let (out_deg, in_deg) = golden(&data);
         assert_eq!(out_deg[5], 1);
-        assert_eq!(in_deg[(u32::MAX & (MAX_VERTICES - 1)) as usize], 1);
+        // u32::MAX masked into the table lands on the last slot.
+        assert_eq!(in_deg[(MAX_VERTICES - 1) as usize], 1);
         let (core, _) = run_kernel(
             AccessStyle::Stream,
             program(AccessStyle::Stream),

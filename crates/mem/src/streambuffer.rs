@@ -144,12 +144,25 @@ impl StreamBuffer {
     // ---------------------------------------------------------------- input
 
     /// Free input ring slots on `sid` (firmware checks before scheduling a
-    /// page read — Figure 10's overflow avoidance).
-    pub fn free_slots(&self, sid: u32) -> u32 {
+    /// page read — Figure 10's overflow avoidance). The subtraction
+    /// saturates: a ring over capacity (only reachable through a config
+    /// swap on a live buffer) reads as 0 free slots, not an underflow
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad stream id, like every other per-stream accessor —
+    /// a firmware bug addressing a nonexistent ring must surface, not
+    /// read as "no free slots" and silently stall the refill loop.
+    pub fn free_slots(&self, sid: u32) -> Result<u32, MemError> {
         self.ins
             .get(sid as usize)
-            .map(|s| self.cfg.pages_per_stream - s.queue.len() as u32)
-            .unwrap_or(0)
+            .map(|s| {
+                self.cfg
+                    .pages_per_stream
+                    .saturating_sub(s.queue.len() as u32)
+            })
+            .ok_or(MemError::BadStream(sid))
     }
 
     /// Pushes a flash page into the input ring of `sid`, arriving at
@@ -448,12 +461,18 @@ mod tests {
         let mut sb = StreamBuffer::new(cfg(2, 4));
         sb.push_page(0, Bytes::from_static(&[1, 2, 3, 4]), SimTime::ZERO)
             .unwrap();
-        assert_eq!(sb.free_slots(0), 1);
+        assert_eq!(sb.free_slots(0).unwrap(), 1);
         match sb.read(0, 4, SimTime::ZERO).unwrap() {
             ReadOutcome::Data { freed_pages, .. } => assert_eq!(freed_pages, 1),
             o => panic!("unexpected {o:?}"),
         }
-        assert_eq!(sb.free_slots(0), 2);
+        assert_eq!(sb.free_slots(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn free_slots_rejects_bad_stream_id() {
+        let sb = StreamBuffer::new(cfg(2, 4));
+        assert_eq!(sb.free_slots(9), Err(MemError::BadStream(9)));
     }
 
     #[test]

@@ -110,6 +110,33 @@ impl Timeline {
         }
     }
 
+    /// Reserves `count` back-to-back service slots, each of length
+    /// `service`, the first starting no earlier than `ready`.
+    ///
+    /// Used for multi-sense operations (read-retry re-senses a page with
+    /// shifted read references): the chip stays occupied for each re-sense,
+    /// and each slot is booked through the normal earliest-fit arbiter so
+    /// competing requests interleave exactly as they would with separate
+    /// `acquire` calls. The returned grant spans the first slot's start to
+    /// the last slot's end; `queued` is the first slot's queueing delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn acquire_repeated(&mut self, ready: SimTime, service: SimDur, count: u32) -> Grant {
+        assert!(count > 0, "acquire_repeated needs at least one slot");
+        let first = self.acquire(ready, service);
+        let mut last = first;
+        for _ in 1..count {
+            last = self.acquire(last.end, service);
+        }
+        Grant {
+            start: first.start,
+            end: last.end,
+            queued: first.queued,
+        }
+    }
+
     /// The slow path: scans for the earliest idle gap that fits, inserts,
     /// and merges touching neighbors. Returns the service start.
     fn place_earliest_fit(&mut self, ready_ps: u64, need: u64) -> u64 {
@@ -278,6 +305,37 @@ mod tests {
         }
         assert_eq!(t.free_at(), SimTime::from_ns(1000));
         assert_eq!(t.busy_time(), SimDur::from_ns(1000));
+    }
+
+    #[test]
+    fn repeated_acquire_books_contiguous_slots_when_idle() {
+        let mut t = Timeline::new("t");
+        let g = t.acquire_repeated(SimTime::from_ns(5), SimDur::from_ns(10), 3);
+        assert_eq!(g.start, SimTime::from_ns(5));
+        assert_eq!(g.end, SimTime::from_ns(35));
+        assert_eq!(g.queued, SimDur::ZERO);
+        assert_eq!(t.busy_time(), SimDur::from_ns(30));
+        assert_eq!(t.grants(), 3);
+    }
+
+    #[test]
+    fn repeated_acquire_queues_behind_existing_work() {
+        let mut t = Timeline::new("t");
+        t.acquire(SimTime::ZERO, SimDur::from_ns(100));
+        let g = t.acquire_repeated(SimTime::from_ns(30), SimDur::from_ns(10), 2);
+        assert_eq!(g.start, SimTime::from_ns(100));
+        assert_eq!(g.end, SimTime::from_ns(120));
+        assert_eq!(g.queued, SimDur::from_ns(70));
+    }
+
+    #[test]
+    fn repeated_acquire_of_one_matches_acquire() {
+        let mut a = Timeline::new("a");
+        let mut b = Timeline::new("b");
+        let ga = a.acquire(SimTime::from_ns(3), SimDur::from_ns(7));
+        let gb = b.acquire_repeated(SimTime::from_ns(3), SimDur::from_ns(7), 1);
+        assert_eq!(ga, gb);
+        assert_eq!(a.busy_time(), b.busy_time());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! (Figure 10's control loop, driven demand-side by the cores).
 
 use crate::request::OutputTarget;
+use crate::SsdError;
 use assasin_core::StreamEnv;
-use assasin_flash::{FlashArray, PhysPageAddr};
-use assasin_ftl::{Ftl, Lpa};
+use assasin_flash::{FlashArray, FlashError, PhysPageAddr};
+use assasin_ftl::{Ftl, FtlError, Lpa};
 use assasin_mem::{SharedDram, StreamBuffer};
 use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
 use bytes::Bytes;
@@ -258,6 +259,38 @@ impl Backend<'_> {
     }
 }
 
+/// Reads a physical page with SSD-level re-read attempts: an uncorrectable
+/// result is retried up to `retries` times, each re-issue delayed by one
+/// more `backoff` step (controller backoff before shifting thresholds and
+/// running the chip-level retry ladder again — fresh draws, since the
+/// chip's fault sequence advances per sense). A page that stays
+/// uncorrectable surfaces as a typed [`SsdError::Media`] with its physical
+/// address; any other flash failure (unwritten page, bad size) propagates
+/// as a typed FTL/flash error instead of panicking.
+pub(crate) fn read_page_retrying(
+    flash: &mut FlashArray,
+    addr: PhysPageAddr,
+    issue: SimTime,
+    retries: u32,
+    backoff: SimDur,
+) -> Result<(Bytes, SimTime), SsdError> {
+    let mut attempt = 0u32;
+    loop {
+        match flash.read_page(addr, issue + backoff * attempt as u64) {
+            Ok(ok) => return Ok(ok),
+            Err(FlashError::Uncorrectable { .. }) if attempt < retries => attempt += 1,
+            Err(FlashError::Uncorrectable { addr, errors }) => {
+                return Err(SsdError::Media {
+                    lpa: None,
+                    addr,
+                    errors,
+                })
+            }
+            Err(e) => return Err(SsdError::Ftl(FtlError::Flash(e))),
+        }
+    }
+}
+
 /// Turns per-core page plans into scheduled deliveries: flash reads are
 /// issued round-robin across cores/streams starting at the request's
 /// firmware-poll offset, so the channel and chip timelines determine each
@@ -268,8 +301,10 @@ pub(crate) fn schedule_plans(
     crossbar: &mut [Timeline],
     crossbar_rate: f64,
     firmware_poll: SimDur,
+    media_retries: u32,
+    media_backoff: SimDur,
     plans: &mut [Vec<StreamPlan>],
-) -> Vec<Vec<PageQueue>> {
+) -> Result<Vec<Vec<PageQueue>>, SsdError> {
     let mut scheduled: Vec<Vec<PageQueue>> = plans
         .iter()
         .map(|streams| streams.iter().map(|_| PageQueue::default()).collect())
@@ -285,9 +320,8 @@ pub(crate) fn schedule_plans(
                     continue;
                 };
                 progressed = true;
-                let (data, flash_arrival) = flash
-                    .read_page(page.addr, issue)
-                    .expect("scomp plans only reference written pages");
+                let (data, flash_arrival) =
+                    read_page_retrying(flash, page.addr, issue, media_retries, media_backoff)?;
                 let payload = data.slice(page.offset as usize..(page.offset + page.len) as usize);
                 // The crossbar is cut-through (Figure 6: computing on data
                 // *streaming* between flash and the engines): the port
@@ -304,14 +338,18 @@ pub(crate) fn schedule_plans(
             }
         }
     }
-    scheduled
+    Ok(scheduled)
 }
 
 impl StreamEnv for Backend<'_> {
     fn refill_stream(&mut self, core: usize, sid: u32, _now: SimTime, sbuf: &mut StreamBuffer) {
         loop {
-            if sbuf.free_slots(sid) == 0 {
-                return;
+            // A bad stream id means the core requested a refill for a ring
+            // that does not exist — nothing to feed, so stop; the core's
+            // own StreamLoad on that id surfaces the error.
+            match sbuf.free_slots(sid) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
             }
             let Some(page) = self.scheduled[core]
                 .get_mut(sid as usize)

@@ -1,7 +1,7 @@
 //! SSD-level configuration (Section VI-A).
 
 use assasin_core::{CoreConfig, EngineKind};
-use assasin_flash::{FlashGeometry, FlashTiming};
+use assasin_flash::{FaultConfig, FlashGeometry, FlashTiming};
 use assasin_sim::SimDur;
 
 /// How the co-simulation loop picks the next deadline.
@@ -59,6 +59,15 @@ pub struct SsdConfig {
     /// Overrides the streambuffer ring depth P (pages per stream) for
     /// ablation studies; `None` keeps Table IV's P=2.
     pub sb_pages: Option<u32>,
+    /// NAND fault injection (disabled by default; DESIGN.md §12).
+    pub fault: FaultConfig,
+    /// SSD-level re-read attempts after an uncorrectable media error
+    /// (transient-failure retry; each re-read runs the full flash-level
+    /// read-retry ladder again).
+    pub media_retries: u32,
+    /// Issue delay added per SSD-level media re-read (controller backoff
+    /// before shifting thresholds and trying the page again).
+    pub media_backoff: SimDur,
 }
 
 impl SsdConfig {
@@ -81,6 +90,9 @@ impl SsdConfig {
             cosim: CosimMode::EventDriven,
             max_rounds: 50_000_000,
             sb_pages: None,
+            fault: FaultConfig::disabled(),
+            media_retries: 2,
+            media_backoff: SimDur::from_us(100),
         }
     }
 

@@ -53,7 +53,7 @@ pub struct Ssd {
 impl Ssd {
     /// Builds an SSD from a configuration.
     pub fn new(cfg: SsdConfig) -> Self {
-        let flash = FlashArray::new(cfg.geometry, cfg.timing);
+        let flash = FlashArray::with_faults(cfg.geometry, cfg.timing, cfg.fault);
         let ftl = Ftl::new(cfg.geometry);
         let dram = Dram::new(cfg.dram_latency, cfg.dram_bw).into_shared();
         let pcie = Bandwidth::new("pcie", cfg.pcie_bw);
@@ -78,6 +78,56 @@ impl Ssd {
     /// FTL bookkeeping (write amplification etc.).
     pub fn ftl_stats(&self) -> assasin_ftl::FtlStats {
         self.ftl.stats()
+    }
+
+    /// Cumulative media-reliability counters (retries, corrections,
+    /// uncorrectables, grown-bad blocks) for this device's lifetime.
+    pub fn reliability(&self) -> assasin_flash::ReliabilityStats {
+        self.flash.reliability_stats()
+    }
+
+    /// FTL read with SSD-level re-read attempts: an uncorrectable result is
+    /// retried up to `media_retries` times, each re-issue backed off by one
+    /// more `media_backoff` step (the chip's fault sequence advances per
+    /// sense, so every re-read runs a fresh retry ladder). A page that
+    /// stays uncorrectable surfaces as [`SsdError::Media`] with both its
+    /// logical and physical address.
+    fn ftl_read_retrying(
+        &mut self,
+        lpa: Lpa,
+        issue: SimTime,
+    ) -> Result<(Bytes, SimTime), SsdError> {
+        let mut attempt = 0u32;
+        loop {
+            let when = issue + self.cfg.media_backoff * attempt as u64;
+            match self.ftl.read(&mut self.flash, lpa, when) {
+                Ok(ok) => return Ok(ok),
+                Err(assasin_ftl::FtlError::Uncorrectable { .. })
+                    if attempt < self.cfg.media_retries =>
+                {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Drops the flash copy of `lpa`'s block while leaving the L2P mapping
+    /// in place — a deliberately inconsistent state that cannot arise
+    /// through the public API. Test hook for exercising the typed
+    /// error path on unwritten physical pages.
+    #[doc(hidden)]
+    pub fn corrupt_mapping_for_tests(&mut self, lpa: Lpa) {
+        let addr = self.ftl.translate(lpa).expect("lpa must be mapped");
+        self.flash
+            .erase_block(
+                addr.channel,
+                addr.chip,
+                addr.plane,
+                addr.block,
+                SimTime::ZERO,
+            )
+            .expect("erase for test corruption");
     }
 
     /// Replaces the FTL placement policy before loading a dataset
@@ -145,7 +195,7 @@ impl Ssd {
         let mut data = Vec::with_capacity(bytes as usize);
         let mut done = SimTime::ZERO;
         for &lpa in lpas {
-            let (payload, arrival) = self.ftl.read(&mut self.flash, lpa, SimTime::ZERO)?;
+            let (payload, arrival) = self.ftl_read_retrying(lpa, SimTime::ZERO)?;
             // Stage in DRAM, then DMA to the host.
             let staged = self.dram.borrow_mut().post(arrival, page);
             let sent = self.pcie.transfer(staged, page) + self.cfg.pcie_latency;
@@ -168,7 +218,7 @@ impl Ssd {
     pub fn peek_bytes(&mut self, lpas: &[Lpa], bytes: u64) -> Result<Vec<u8>, SsdError> {
         let mut data = Vec::with_capacity(bytes as usize);
         for &lpa in lpas {
-            let (payload, _) = self.ftl.read(&mut self.flash, lpa, SimTime::ZERO)?;
+            let (payload, _) = self.ftl_read_retrying(lpa, SimTime::ZERO)?;
             data.extend_from_slice(&payload);
         }
         data.truncate(bytes as usize);
@@ -376,8 +426,10 @@ impl Ssd {
                 &mut self.crossbar,
                 self.cfg.crossbar_port_bw,
                 self.cfg.firmware_poll,
+                self.cfg.media_retries,
+                self.cfg.media_backoff,
                 &mut plans,
-            )
+            )?
         };
 
         // ---- construct cores ------------------------------------------
@@ -455,6 +507,8 @@ impl Ssd {
                     req,
                     self.cfg.geometry.page_bytes,
                     self.cfg.firmware_poll,
+                    self.cfg.media_retries,
+                    self.cfg.media_backoff,
                     &mut mem_out_offsets,
                 )?;
             }
@@ -717,6 +771,7 @@ impl Ssd {
 /// of staging is charged when the core's cache fills from the window
 /// (`fill_bytes_factor = 2` in the hierarchy: staging write + demand
 /// read), which also gives the correct consumption-paced backpressure.
+#[allow(clippy::too_many_arguments)]
 fn stage_windows(
     cores: &mut [Core],
     backend: &mut Backend<'_>,
@@ -724,6 +779,8 @@ fn stage_windows(
     req: &ScompRequest,
     page_bytes: u32,
     firmware_poll: assasin_sim::SimDur,
+    media_retries: u32,
+    media_backoff: assasin_sim::SimDur,
     out_offsets: &mut [u64],
 ) -> Result<(), SsdError> {
     let n_in = req.input_streams.len();
@@ -766,10 +823,13 @@ fn stage_windows(
             };
             progressed = true;
             let issue = SimTime::ZERO + firmware_poll;
-            let (data, flash_arrival) = backend
-                .flash
-                .read_page(plan.addr, issue)
-                .expect("plans only reference written pages");
+            let (data, flash_arrival) = crate::backend::read_page_retrying(
+                backend.flash,
+                plan.addr,
+                issue,
+                media_retries,
+                media_backoff,
+            )?;
             let payload = data.slice(plan.offset as usize..(plan.offset + plan.len) as usize);
             backend.bytes_streamed += plan.len as u64;
             backend.per_core_streamed[*id] += plan.len as u64;

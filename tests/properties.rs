@@ -162,7 +162,7 @@ proptest! {
         let mut pending = pages.clone();
         pending.reverse(); // pop from the back
         // initial fill
-        while sb.free_slots(0) > 0 {
+        while sb.free_slots(0).unwrap() > 0 {
             match pending.pop() {
                 Some(p) => sb.push_page(0, Bytes::from(p), SimTime::ZERO).unwrap(),
                 None => break,
