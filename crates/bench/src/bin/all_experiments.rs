@@ -5,6 +5,12 @@
 //! result feeds fig22, so those two share a task); reports print and save
 //! in a fixed canonical order regardless of completion order, so serial
 //! (`RAYON_NUM_THREADS=1`) and parallel runs produce identical output.
+//!
+//! `--filter <name>` (repeatable, comma-separable) or the `ASSASIN_FILTER`
+//! environment variable restricts the run to tasks whose name contains one
+//! of the given substrings — e.g. `--filter fig16,fig19` or
+//! `ASSASIN_FILTER=fig15` — for iterating on one experiment without
+//! paying for the whole suite.
 
 use assasin_bench::experiments::*;
 use assasin_bench::{sweep, Scale};
@@ -33,8 +39,35 @@ fn save(name: &str, text: &str, json: &serde_json::Value) {
     .expect("write json report");
 }
 
+/// Task-name filters from `--filter` arguments (repeatable, each value
+/// may be comma-separated) plus `ASSASIN_FILTER`. Empty = run everything.
+fn filters() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--filter" {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--filter needs a value (e.g. --filter fig16)");
+                std::process::exit(2);
+            })
+        } else if let Some(v) = arg.strip_prefix("--filter=") {
+            v.to_string()
+        } else {
+            eprintln!("unknown argument `{arg}` (supported: --filter <name>)");
+            std::process::exit(2);
+        };
+        out.extend(value.split(',').map(str::to_string));
+    }
+    if let Ok(env) = std::env::var("ASSASIN_FILTER") {
+        out.extend(env.split(',').map(str::to_string));
+    }
+    out.retain(|f| !f.trim().is_empty());
+    out
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let filters = filters();
     let t0 = Instant::now();
     type Task = (&'static str, Box<dyn Fn() -> Vec<Report> + Send + Sync>);
     // Canonical report order; each task may emit several reports.
@@ -95,6 +128,14 @@ fn main() {
             Box::new(move || vec![render("reliability", &fig_reliability::run(&scale))]),
         ),
     ];
+    let tasks: Vec<Task> = tasks
+        .into_iter()
+        .filter(|(name, _)| filters.is_empty() || filters.iter().any(|f| name.contains(f.trim())))
+        .collect();
+    if tasks.is_empty() {
+        eprintln!("no experiments match the filter; names are table02, table04, fig05, fig13, fig14, fig15, fig16, fig19, fig20, fig21+fig22, table05, ablations, reliability");
+        std::process::exit(2);
+    }
     let produced = sweep::run_points(&tasks, |(name, task)| {
         let started = Instant::now();
         let reports = task();

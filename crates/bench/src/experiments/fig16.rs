@@ -8,7 +8,7 @@
 
 use crate::bundles::scan_bundle;
 use crate::report;
-use crate::runner::{offload, ssd_with};
+use crate::runner::{prepare_offload, ssd_with};
 use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
@@ -78,33 +78,33 @@ pub fn run(scale: &Scale) -> Fig16Report {
         sample.len() as f64 / core.cycles() as f64 // bytes/cycle == GB/s at 1 GHz
     };
 
-    // Each core count is an independent sweep point over its own SSD;
-    // normalization happens after reassembly (it only needs the
+    // Each core count is an independent sweep point over its own SSD, but
+    // every point runs the same scan program, so the whole sweep executes
+    // as one lane-batched group: the 1-, 2- and 4-core points ride in the
+    // same dispatch loop as the wide points instead of each spinning its
+    // own. Normalization happens after reassembly (it only needs the
     // calibration constant above).
-    let measured = sweep::run_points(&CORE_COUNTS, |&cores| {
+    let measured = sweep::run_lane_groups(&CORE_COUNTS, CORE_COUNTS.len(), |&cores| {
         let mut ssd = ssd_with(EngineKind::AssasinSb, cores, false, false);
         let flash_bound_gbps = ssd.config().flash_bw() / 1e9;
-        let r =
-            offload(&mut ssd, scan_bundle(), std::slice::from_ref(&data)).expect("scan completes");
-        let utilization =
-            r.per_core.iter().map(|c| c.utilization).sum::<f64>() / r.per_core.len().max(1) as f64;
-        let secs = r.elapsed.as_secs_f64();
-        let channel_gbps: Vec<f64> = r
-            .channel_bytes
-            .iter()
-            .map(|&b| b as f64 / secs / 1e9)
-            .collect();
-        (
-            flash_bound_gbps,
-            r.throughput_gbps(),
-            utilization,
-            channel_gbps,
-        )
+        let req = prepare_offload(&mut ssd, scan_bundle(), std::slice::from_ref(&data))
+            .expect("dataset fits");
+        (ssd, req, flash_bound_gbps)
     });
     let mut points = Vec::new();
     let mut channel_gbps = Vec::new();
     let mut flash_bound_gbps = 8.0;
-    for (&cores, (bound, gbps, utilization, channels)) in CORE_COUNTS.iter().zip(measured) {
+    for (&cores, (r, bound)) in CORE_COUNTS.iter().zip(measured) {
+        let r = r.expect("scan completes");
+        let utilization =
+            r.per_core.iter().map(|c| c.utilization).sum::<f64>() / r.per_core.len().max(1) as f64;
+        let secs = r.elapsed.as_secs_f64();
+        let channels: Vec<f64> = r
+            .channel_bytes
+            .iter()
+            .map(|&b| b as f64 / secs / 1e9)
+            .collect();
+        let gbps = r.throughput_gbps();
         flash_bound_gbps = bound;
         // Ideal utilization: what the nominal bandwidth relationship
         // between cores and channels allows (Figure 17's normalization).

@@ -45,7 +45,7 @@ pub struct Fig19Report {
     pub points: Vec<SkewPoint>,
 }
 
-fn run_one(skew: f64, data: &[u8], channel_local: bool) -> (f64, f64) {
+fn prep_one(skew: f64, data: &[u8], channel_local: bool) -> (Ssd, ScompRequest, f64) {
     let mut ssd: Ssd = ssd_with(EngineKind::AssasinSb, 8, false, channel_local);
     let channels = ssd.config().geometry.channels;
     let pages = data
@@ -58,27 +58,32 @@ fn run_one(skew: f64, data: &[u8], channel_local: bool) -> (f64, f64) {
     let measured = measure_skew(&ssd.channel_distribution(&lpas));
     let req = ScompRequest::new(heavy_scan_bundle(), vec![lpas])
         .with_stream_bytes(vec![data.len() as u64]);
-    let r = ssd.scomp(&req).expect("scan completes");
-    (r.throughput_gbps(), measured)
+    (ssd, req, measured)
 }
 
 /// Runs the sweep: every (skew, architecture) pair is an independent
-/// point; rows pair crossbar and channel-local after reassembly.
+/// point; rows pair crossbar and channel-local after reassembly. All ten
+/// points run the same heavy-scan program, so the sweep executes as one
+/// lane-batched group.
 pub fn run(scale: &Scale) -> Fig19Report {
     let n = scale.scalability_bytes.next_multiple_of(8);
     let data: Vec<u8> = (0..n).map(|i| (i % 253) as u8).collect();
     let configs = sweep::grid(&SKEWS, &[false, true]);
-    let measured = sweep::run_points(&configs, |&(skew, channel_local)| {
-        run_one(skew, &data, channel_local)
+    let measured = sweep::run_lane_groups(&configs, configs.len(), |&(skew, channel_local)| {
+        prep_one(skew, &data, channel_local)
     });
     let points = sweep::rows_of(measured, 2)
         .into_iter()
         .zip(&SKEWS)
-        .map(|(row, &skew)| SkewPoint {
-            skew,
-            measured_skew: row[0].1,
-            crossbar_gbps: row[0].0,
-            channel_local_gbps: row[1].0,
+        .map(|(mut row, &skew)| {
+            let (local, _) = row.pop().expect("two architectures per row");
+            let (crossbar, measured_skew) = row.pop().expect("two architectures per row");
+            SkewPoint {
+                skew,
+                measured_skew,
+                crossbar_gbps: crossbar.expect("scan completes").throughput_gbps(),
+                channel_local_gbps: local.expect("scan completes").throughput_gbps(),
+            }
         })
         .collect();
     Fig19Report {

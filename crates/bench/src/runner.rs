@@ -12,6 +12,29 @@ pub fn ssd_with(engine: EngineKind, n_cores: usize, adjusted: bool, channel_loca
     Ssd::new(cfg)
 }
 
+/// Loads `streams` as flash objects and builds the `scomp` request without
+/// running it — the preparation half of [`offload`], for sweeps that batch
+/// execution across points with [`crate::sweep::run_lane_groups`].
+///
+/// # Errors
+///
+/// Propagates SSD errors (the harness treats them as fatal).
+pub fn prepare_offload(
+    ssd: &mut Ssd,
+    bundle: KernelBundle,
+    streams: &[Vec<u8>],
+) -> Result<ScompRequest, SsdError> {
+    let mut lpa_lists = Vec::with_capacity(streams.len());
+    let mut lengths = Vec::with_capacity(streams.len());
+    for (i, data) in streams.iter().enumerate() {
+        // Spread stream base LPAs far apart.
+        let base = (i as u64) * (1 << 20);
+        lpa_lists.push(ssd.load_object(base, data)?);
+        lengths.push(data.len() as u64);
+    }
+    Ok(ScompRequest::new(bundle, lpa_lists).with_stream_bytes(lengths))
+}
+
 /// Loads `streams` as flash objects and runs `bundle` over them, returning
 /// the scomp result.
 ///
@@ -23,15 +46,7 @@ pub fn offload(
     bundle: KernelBundle,
     streams: &[Vec<u8>],
 ) -> Result<ScompResult, SsdError> {
-    let mut lpa_lists = Vec::with_capacity(streams.len());
-    let mut lengths = Vec::with_capacity(streams.len());
-    for (i, data) in streams.iter().enumerate() {
-        // Spread stream base LPAs far apart.
-        let base = (i as u64) * (1 << 20);
-        lpa_lists.push(ssd.load_object(base, data)?);
-        lengths.push(data.len() as u64);
-    }
-    let req = ScompRequest::new(bundle, lpa_lists).with_stream_bytes(lengths);
+    let req = prepare_offload(ssd, bundle, streams)?;
     ssd.scomp(&req)
 }
 

@@ -1,0 +1,477 @@
+//! Lane-batched execution: one dispatch loop drives N identical cores.
+//!
+//! The evaluation harness simulates hundreds of independent (workload,
+//! engine, config) sweep points, most of which run the *same* program.
+//! Scalar simulation walks the dispatch loop once per core; this module
+//! instead steps a batch of up to eight *lanes* (cores) in index-lockstep:
+//! the shared predecoded slot is fetched **once** per batch step and then
+//! executed against each lane's private architectural state, so every lane
+//! dispatches the same slot back to back and the host branch predictor
+//! sees a perfectly correlated dispatch history.
+//!
+//! Whether lockstep beats the scalar loop is workload-dependent: it
+//! amortizes fetch/dispatch, but multiplies the resident working set by
+//! the batch width (N register files, N streambuffer cursors, N live
+//! input pages). With macro-op fusion the scalar dispatch loop is cheap
+//! enough that flash-fed streaming kernels measure *slower* under
+//! lockstep, so the SSD integration defaults to scalar execution and
+//! treats lane width as an opt-in knob (`ASSASIN_LANES`, or
+//! `assasin-ssd`'s `set_lane_cap`); see `DESIGN.md` §13 for the numbers.
+//! Either way the lane executor is bit-exact against the scalar loop,
+//! which the equivalence suite enforces.
+//!
+//! # Determinism contract
+//!
+//! Batching never reorders anything a result can observe. The caller only
+//! submits lanes whose environment interactions are *commutative across
+//! cores* (in the SSD embedding: stream-style kernels whose only
+//! environment calls are per-core stream refills — see
+//! `assasin-ssd`'s eligibility gate). Under that contract any interleaving
+//! of lanes yields byte-identical per-lane results, so the lockstep order,
+//! divergence ejection and scalar fallback below are pure performance
+//! choices. Per-lane sequencing is exact by construction: each lane runs
+//! the same [`Core::exec_slot`] the scalar loop uses, with the same cycle
+//! limit semantics.
+//!
+//! Lanes retire independently: a lane leaves the batch when it halts,
+//! wedges, reaches the cycle limit, or diverges from the batch's shared pc
+//! (data-dependent branches); divergent lanes finish on the scalar loop.
+
+use crate::{Core, CoreState, StreamEnv};
+
+/// One simulation session's slice of lanes: the cores all talk to the same
+/// [`StreamEnv`]. A batch may span several groups (several sweep points),
+/// each with its own environment; a lane is addressed as a (group, core)
+/// pair.
+pub struct LaneGroup<'a> {
+    /// The environment serving `cores` (the SSD backend, or a synthetic
+    /// test environment).
+    pub env: &'a mut dyn StreamEnv,
+    /// The cores of this session.
+    pub cores: &'a mut [Core],
+}
+
+/// Executor width selection: how many lanes one dispatch loop drives.
+/// Widths are monomorphized ([`LaneBatch`]), so the hot loop's arrays are
+/// fixed-size; `Scalar` is the plain per-core loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyExec {
+    /// One core at a time through [`Core::run_cycles`].
+    Scalar,
+    /// Up to two lanes per batch.
+    Lanes2,
+    /// Up to four lanes per batch.
+    Lanes4,
+    /// Up to eight lanes per batch.
+    Lanes8,
+}
+
+impl AnyExec {
+    /// Maximum lanes per batch.
+    pub fn width(self) -> usize {
+        match self {
+            AnyExec::Scalar => 1,
+            AnyExec::Lanes2 => 2,
+            AnyExec::Lanes4 => 4,
+            AnyExec::Lanes8 => 8,
+        }
+    }
+
+    /// The widest executor whose batch size does not exceed `cap` lanes.
+    pub fn for_width(cap: usize) -> AnyExec {
+        match cap {
+            0 | 1 => AnyExec::Scalar,
+            2 | 3 => AnyExec::Lanes2,
+            4..=7 => AnyExec::Lanes4,
+            _ => AnyExec::Lanes8,
+        }
+    }
+}
+
+/// A lane batch in flight: up to `N` lanes in index-lockstep, with the
+/// per-lane activity mask and batched retirement counters in flat arrays.
+/// The architectural state (registers, clock, streambuffer) stays inside
+/// each lane's [`Core`] — the batch only owns the scheduling state, which
+/// is what keeps the executed code path identical to scalar dispatch.
+struct LaneBatch<'l, const N: usize> {
+    /// (group, core) index of each lane; `lanes[..n]` are in use.
+    lanes: &'l [(usize, usize)],
+    /// Which lanes are still stepping with the batch.
+    active: [bool; N],
+    /// Retirements accumulated per lane, flushed once on exit (the same
+    /// batching [`Core::run_cycles`] does for `mix.total`/base busy).
+    retired: [u64; N],
+}
+
+impl<'l, const N: usize> LaneBatch<'l, N> {
+    fn new(lanes: &'l [(usize, usize)]) -> Self {
+        debug_assert!(lanes.len() <= N);
+        let mut active = [false; N];
+        for a in active.iter_mut().take(lanes.len()) {
+            *a = true;
+        }
+        LaneBatch {
+            lanes,
+            active,
+            retired: [0; N],
+        }
+    }
+
+    /// Runs every lane to the cycle limit, halt, or wedge. On entry all
+    /// lanes must be running, below `limit`, and at the same pc of the
+    /// same predecoded code (the caller batches by code identity and pc).
+    fn run(mut self, groups: &mut [LaneGroup<'_>], limit: u64) {
+        while let Some(first) = self.active.iter().position(|&a| a) {
+            let (g0, c0) = self.lanes[first];
+            // A batch down to one lane finishes scalar: per-slot batch
+            // bookkeeping would be pure overhead.
+            if self.active.iter().filter(|&&a| a).count() == 1 {
+                self.active[first] = false;
+                let group = &mut groups[g0];
+                group.cores[c0].flush_retired(self.retired[first]);
+                self.retired[first] = 0;
+                group.cores[c0].run_cycles(group.env, limit);
+                break;
+            }
+
+            let Some(slot) = groups[g0].cores[c0].fetch_slot() else {
+                // All active lanes share this out-of-range pc.
+                for i in first..self.lanes.len() {
+                    if self.active[i] {
+                        let (g, c) = self.lanes[i];
+                        groups[g].cores[c].wedge_pc_overrun();
+                        self.active[i] = false;
+                    }
+                }
+                break;
+            };
+
+            // One fetch, N dispatches: each active lane executes the same
+            // slot against its own state and environment.
+            for i in first..self.lanes.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                let (g, c) = self.lanes[i];
+                let group = &mut groups[g];
+                self.retired[i] += group.cores[c].exec_slot(slot, group.env, limit) as u64;
+            }
+
+            // Retire finished lanes; eject pc-divergent lanes to scalar.
+            let mut lock_pc = None;
+            for i in first..self.lanes.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                let (g, c) = self.lanes[i];
+                let stopped = {
+                    let core = &groups[g].cores[c];
+                    *core.state() != CoreState::Running || core.cycles() >= limit
+                };
+                if stopped {
+                    self.active[i] = false;
+                    continue;
+                }
+                let pc = groups[g].cores[c].pc();
+                match lock_pc {
+                    None => lock_pc = Some(pc),
+                    Some(p) if p == pc => {}
+                    Some(_) => {
+                        // Data-dependent control flow diverged from the
+                        // batch. Finishing this lane ahead of the others is
+                        // exact under the determinism contract (lane
+                        // results are interleaving-independent).
+                        self.active[i] = false;
+                        let group = &mut groups[g];
+                        group.cores[c].flush_retired(self.retired[i]);
+                        self.retired[i] = 0;
+                        group.cores[c].run_cycles(group.env, limit);
+                    }
+                }
+            }
+        }
+        for (i, &(g, c)) in self.lanes.iter().enumerate() {
+            if self.retired[i] > 0 {
+                groups[g].cores[c].flush_retired(self.retired[i]);
+            }
+        }
+    }
+}
+
+/// Runs every runnable core in `groups` to `cycle_limit` (or halt/wedge),
+/// batching cores that share predecoded code *and* current pc into
+/// `exec`-wide lanes; everything else falls back to the scalar loop.
+/// Returns the widest batch actually formed (1 = everything ran scalar),
+/// which the harness reports as the effective lane width.
+///
+/// The caller is responsible for the determinism contract (see the module
+/// docs): only submit groups whose environment interactions commute across
+/// cores. Code identity is checked here (lanes of different programs never
+/// share a batch), so grouping mistakes cost performance, not correctness.
+pub fn run_lanes(groups: &mut [LaneGroup<'_>], exec: AnyExec, cycle_limit: u64) -> usize {
+    // Partition runnable lanes by (code identity, pc): a batch must enter
+    // in lockstep on the same program.
+    type LanePart = ((*const (), u32), Vec<(usize, usize)>);
+    let mut parts: Vec<LanePart> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        for (c, core) in group.cores.iter().enumerate() {
+            if *core.state() == CoreState::Running && core.cycles() < cycle_limit {
+                let key = (core.code_ptr(), core.pc());
+                match parts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, lanes)) => lanes.push((g, c)),
+                    None => parts.push((key, vec![(g, c)])),
+                }
+            }
+        }
+    }
+
+    let width = exec.width();
+    let mut max_width = 1;
+    for (_, lanes) in parts {
+        for chunk in lanes.chunks(width) {
+            max_width = max_width.max(chunk.len());
+            match chunk.len() {
+                0 => {}
+                1 => {
+                    let (g, c) = chunk[0];
+                    let group = &mut groups[g];
+                    group.cores[c].run_cycles(group.env, cycle_limit);
+                }
+                2 => LaneBatch::<2>::new(chunk).run(groups, cycle_limit),
+                3 | 4 => LaneBatch::<4>::new(chunk).run(groups, cycle_limit),
+                _ => LaneBatch::<8>::new(chunk).run(groups, cycle_limit),
+            }
+        }
+    }
+    max_width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreConfig, SyntheticEnv};
+    use assasin_isa::{Assembler, Program, Reg};
+
+    /// Sums the bytes of stream 0 into scratchpad word 0 (halts on stream
+    /// exhaustion). No data-dependent branches: lanes stay in lockstep.
+    fn sum_program() -> Program {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.stream_load(Reg::A0, 0, 1);
+        asm.add(Reg::A1, Reg::A1, Reg::A0);
+        asm.sw(Reg::A1, Reg::ZERO, 0);
+        asm.j(top);
+        asm.finish().unwrap()
+    }
+
+    /// Counts bytes >= 128 of stream 0 into scratchpad word 0. The branch
+    /// depends on the data, so lanes diverge constantly.
+    fn filter_program() -> Program {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        let skip = asm.label();
+        asm.bind(top);
+        asm.stream_load(Reg::A0, 0, 1);
+        asm.li(Reg::T0, 128);
+        asm.bltu(Reg::A0, Reg::T0, skip);
+        asm.addi(Reg::A1, Reg::A1, 1);
+        asm.sw(Reg::A1, Reg::ZERO, 0);
+        asm.bind(skip);
+        asm.j(top);
+        asm.finish().unwrap()
+    }
+
+    fn lane_data(lane: usize) -> Vec<u8> {
+        // Different content *and* length per lane, so lanes retire at
+        // different times.
+        (0..(400 + lane * 97))
+            .map(|i| ((i * 31 + lane * 7) % 256) as u8)
+            .collect()
+    }
+
+    /// Runs `n` lanes of `program` scalar and batched and asserts the
+    /// per-lane observable state is identical.
+    fn assert_batched_matches_scalar(program: &Program, n: usize, exec: AnyExec) {
+        let build = |lane: usize| {
+            let mut env = SyntheticEnv::new(8, 64);
+            env.set_input(0, &lane_data(lane));
+            let core = Core::new(0, CoreConfig::assasin_sb(), program.clone(), None);
+            (env, core)
+        };
+
+        let mut scalar: Vec<(SyntheticEnv, Core)> = (0..n).map(build).collect();
+        for (env, core) in scalar.iter_mut() {
+            core.run_to_halt(env);
+        }
+
+        let mut batched: Vec<(SyntheticEnv, Core)> = (0..n).map(build).collect();
+        {
+            let mut groups: Vec<LaneGroup<'_>> = batched
+                .iter_mut()
+                .map(|(env, core)| LaneGroup {
+                    env,
+                    cores: std::slice::from_mut(core),
+                })
+                .collect();
+            run_lanes(&mut groups, exec, u64::MAX);
+        }
+
+        for (lane, ((_, s), (_, b))) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.state(), b.state(), "lane {lane} state");
+            assert_eq!(s.cycles(), b.cycles(), "lane {lane} cycles");
+            assert_eq!(s.mix(), b.mix(), "lane {lane} mix");
+            assert_eq!(s.breakdown(), b.breakdown(), "lane {lane} breakdown");
+            assert_eq!(
+                s.scratchpad().load(0, 4).unwrap(),
+                b.scratchpad().load(0, 4).unwrap(),
+                "lane {lane} result"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_lanes_match_scalar() {
+        for n in [2, 3, 4, 8] {
+            assert_batched_matches_scalar(&sum_program(), n, AnyExec::for_width(n));
+        }
+    }
+
+    #[test]
+    fn divergent_lanes_match_scalar() {
+        for n in [2, 4, 8] {
+            assert_batched_matches_scalar(&filter_program(), n, AnyExec::for_width(n));
+        }
+    }
+
+    #[test]
+    fn epoch_sliced_batching_matches_scalar() {
+        // Drive the batch in small cycle-limit slices (as the SSD's epoch
+        // loop would) and compare against uninterrupted scalar runs.
+        let program = sum_program();
+        let n = 4;
+        let build = |lane: usize| {
+            let mut env = SyntheticEnv::new(8, 64);
+            env.set_input(0, &lane_data(lane));
+            let core = Core::new(0, CoreConfig::assasin_sb(), program.clone(), None);
+            (env, core)
+        };
+
+        let mut scalar: Vec<(SyntheticEnv, Core)> = (0..n).map(build).collect();
+        for (env, core) in scalar.iter_mut() {
+            core.run_to_halt(env);
+        }
+
+        let mut batched: Vec<(SyntheticEnv, Core)> = (0..n).map(build).collect();
+        let mut limit = 0u64;
+        while batched
+            .iter()
+            .any(|(_, c)| *c.state() == CoreState::Running)
+        {
+            limit += 37; // deliberately not a multiple of anything
+            let mut groups: Vec<LaneGroup<'_>> = batched
+                .iter_mut()
+                .map(|(env, core)| LaneGroup {
+                    env,
+                    cores: std::slice::from_mut(core),
+                })
+                .collect();
+            run_lanes(&mut groups, AnyExec::Lanes4, limit);
+        }
+
+        for (lane, ((_, s), (_, b))) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.cycles(), b.cycles(), "lane {lane} cycles");
+            assert_eq!(s.mix(), b.mix(), "lane {lane} mix");
+            assert_eq!(
+                s.scratchpad().load(0, 4).unwrap(),
+                b.scratchpad().load(0, 4).unwrap(),
+                "lane {lane} result"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_core_groups_batch_across_groups() {
+        // Four single-core groups sharing one program: the lanes must form
+        // one 4-wide batch spanning all four environments.
+        let program = sum_program();
+        let mut scalar: Vec<(SyntheticEnv, Core)> = (0..4)
+            .map(|lane| {
+                let mut env = SyntheticEnv::new(8, 64);
+                env.set_input(0, &lane_data(lane));
+                (
+                    env,
+                    Core::new(0, CoreConfig::assasin_sb(), program.clone(), None),
+                )
+            })
+            .collect();
+        for (env, core) in scalar.iter_mut() {
+            core.run_to_halt(env);
+        }
+
+        let mut batched: Vec<(SyntheticEnv, Core)> = (0..4)
+            .map(|lane| {
+                let mut env = SyntheticEnv::new(8, 64);
+                env.set_input(0, &lane_data(lane));
+                (
+                    env,
+                    Core::new(0, CoreConfig::assasin_sb(), program.clone(), None),
+                )
+            })
+            .collect();
+        {
+            let mut groups: Vec<LaneGroup<'_>> = batched
+                .iter_mut()
+                .map(|(env, core)| LaneGroup {
+                    env,
+                    cores: std::slice::from_mut(core),
+                })
+                .collect();
+            let used = run_lanes(&mut groups, AnyExec::Lanes8, u64::MAX);
+            assert_eq!(used, 4, "all four lanes should form one batch");
+        }
+        for (lane, ((_, s), (_, b))) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.cycles(), b.cycles(), "lane {lane} cycles");
+        }
+    }
+
+    #[test]
+    fn different_programs_never_share_a_batch() {
+        let sum = sum_program();
+        let filt = filter_program();
+        let mut a_env = SyntheticEnv::new(8, 64);
+        a_env.set_input(0, &lane_data(0));
+        let mut a = Core::new(0, CoreConfig::assasin_sb(), sum, None);
+        let mut b_env = SyntheticEnv::new(8, 64);
+        b_env.set_input(0, &lane_data(1));
+        let mut b = Core::new(0, CoreConfig::assasin_sb(), filt, None);
+        let mut groups = [
+            LaneGroup {
+                env: &mut a_env,
+                cores: std::slice::from_mut(&mut a),
+            },
+            LaneGroup {
+                env: &mut b_env,
+                cores: std::slice::from_mut(&mut b),
+            },
+        ];
+        let used = run_lanes(&mut groups, AnyExec::Lanes8, u64::MAX);
+        assert_eq!(used, 1, "different code must run scalar");
+        assert_eq!(a.state(), &CoreState::Halted);
+        assert_eq!(b.state(), &CoreState::Halted);
+    }
+
+    #[test]
+    fn any_exec_width_mapping() {
+        assert_eq!(AnyExec::for_width(0), AnyExec::Scalar);
+        assert_eq!(AnyExec::for_width(1), AnyExec::Scalar);
+        assert_eq!(AnyExec::for_width(2), AnyExec::Lanes2);
+        assert_eq!(AnyExec::for_width(3), AnyExec::Lanes2);
+        assert_eq!(AnyExec::for_width(4), AnyExec::Lanes4);
+        assert_eq!(AnyExec::for_width(7), AnyExec::Lanes4);
+        assert_eq!(AnyExec::for_width(8), AnyExec::Lanes8);
+        assert_eq!(AnyExec::for_width(64), AnyExec::Lanes8);
+        assert_eq!(AnyExec::Scalar.width(), 1);
+        assert_eq!(AnyExec::Lanes8.width(), 8);
+    }
+}

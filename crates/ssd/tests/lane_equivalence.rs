@@ -1,0 +1,188 @@
+//! The lane-batched executor's determinism contract: batching is a pure
+//! scheduling decision, never an observable one.
+//!
+//! Every observable of an `scomp` run — simulated elapsed time, output
+//! bytes, per-core cycle counts and instruction mixes, DRAM traffic,
+//! channel accounting — must be byte-identical whether the session runs
+//! on the scalar epoch loop (`set_lane_cap(1)`, the default) or on the
+//! lockstep lane executor (`set_lane_cap(8)`), and whether sweep points
+//! run one `scomp` at a time or batched across sessions via
+//! [`scomp_group`]. The comparison is the full [`Debug`] rendering of
+//! [`ScompResult`], so a new field is covered the day it is added.
+//!
+//! The lane cap is process-global, so these tests serialize on a mutex
+//! and restore the scalar default before releasing it.
+
+use assasin_core::EngineKind;
+use assasin_kernels::{raid, scan, stat};
+use assasin_ssd::{
+    lane_counters, scomp_group, set_lane_cap, KernelBundle, ScompRequest, ScompResult, Ssd,
+    SsdConfig,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global lane cap.
+static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic pseudo-random payload.
+fn pattern(n: usize, salt: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(salt) >> 8) as u8)
+        .collect()
+}
+
+/// `(bundle, input streams)` for one sweep point.
+fn workload(kernel: usize, len: usize, salt: u64) -> (KernelBundle, Vec<Vec<u8>>) {
+    match kernel {
+        0 => (
+            KernelBundle::new("scan", scan::TUPLE_BYTES, 0.0, scan::program),
+            vec![pattern(len, salt)],
+        ),
+        1 => (
+            KernelBundle::new("stat", stat::TUPLE_BYTES, 0.0, stat::program),
+            vec![pattern(len, salt.wrapping_add(1))],
+        ),
+        _ => (
+            KernelBundle::new("raid4", 4, 0.25, raid::raid4_program),
+            (0..4)
+                .map(|s| pattern(len / 4, salt.wrapping_add(10 + s)))
+                .collect(),
+        ),
+    }
+}
+
+/// Builds a fresh SSD with the point's streams loaded and the request
+/// ready to run.
+fn prep_on(engine: EngineKind, kernel: usize, len: usize, salt: u64) -> (Ssd, ScompRequest) {
+    let mut ssd = Ssd::new(SsdConfig::small_for_tests(engine));
+    let (bundle, streams) = workload(kernel, len, salt);
+    let mut lpa_lists = Vec::new();
+    let mut lengths = Vec::new();
+    for (i, data) in streams.iter().enumerate() {
+        lpa_lists.push(ssd.load_object((i as u64) * 2048, data).expect("load"));
+        lengths.push(data.len() as u64);
+    }
+    let req = ScompRequest::new(bundle, lpa_lists).with_stream_bytes(lengths);
+    (ssd, req)
+}
+
+fn prep(kernel: usize, len: usize, salt: u64) -> (Ssd, ScompRequest) {
+    prep_on(EngineKind::AssasinSb, kernel, len, salt)
+}
+
+fn run_one(kernel: usize, len: usize, salt: u64) -> ScompResult {
+    let (mut ssd, req) = prep(kernel, len, salt);
+    ssd.scomp(&req).expect("scomp")
+}
+
+#[test]
+fn lane_executor_matches_scalar_per_request() {
+    let _guard = lock();
+    // scan and stat are lane-eligible (streaming, no StreamStore); raid4
+    // emits via StreamStore and must take the scalar fallback unchanged.
+    for kernel in 0..3 {
+        for (len, salt) in [(16 * 40, 7u64), (16 * 1023, 991)] {
+            set_lane_cap(1);
+            let scalar = run_one(kernel, len, salt);
+            set_lane_cap(8);
+            let laned = run_one(kernel, len, salt);
+            set_lane_cap(1);
+            assert_eq!(
+                format!("{scalar:?}"),
+                format!("{laned:?}"),
+                "kernel {kernel} len {len}: lane cap changed an observable"
+            );
+        }
+    }
+}
+
+#[test]
+fn grouped_sweep_matches_sequential_scalar() {
+    let _guard = lock();
+    // Four sweep points sharing the scan program plus one stat point:
+    // scomp_group batches the scan lanes across sessions and must still
+    // reproduce the sequential scalar results bit for bit, in order.
+    let points: Vec<(usize, usize, u64)> = vec![
+        (0, 16 * 100, 1),
+        (0, 16 * 257, 2),
+        (0, 16 * 33, 3),
+        (0, 16 * 512, 4),
+        (1, 16 * 200, 5),
+    ];
+
+    set_lane_cap(1);
+    let scalar: Vec<ScompResult> = points.iter().map(|&(k, l, s)| run_one(k, l, s)).collect();
+
+    set_lane_cap(8);
+    let mut prepped: Vec<(Ssd, ScompRequest)> =
+        points.iter().map(|&(k, l, s)| prep(k, l, s)).collect();
+    let (sessions_before, _) = lane_counters();
+    let grouped = scomp_group(prepped.iter_mut().map(|(ssd, req)| (&mut *ssd, &*req)));
+    let (sessions_after, widest) = lane_counters();
+    set_lane_cap(1);
+
+    assert_eq!(grouped.len(), scalar.len());
+    for (i, (s, g)) in scalar.iter().zip(&grouped).enumerate() {
+        let g = g.as_ref().expect("grouped scomp succeeds");
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{g:?}"),
+            "point {i}: grouped run changed an observable"
+        );
+    }
+    // The eligible sessions actually took the lane path, and batches grew
+    // past a single lane (the four scan points share one program).
+    assert!(
+        sessions_after > sessions_before,
+        "no session used the lane executor"
+    );
+    assert!(widest >= 2, "lanes never batched (widest {widest})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn randomized_points_match_at_any_width(
+        engine_idx in 0usize..EngineKind::ALL.len(),
+        kernel in 0usize..3,
+        len_tuples in 1usize..512,
+        salt in 0u64..1_000_000,
+        cap in 2usize..=8,
+    ) {
+        let _guard = lock();
+        let engine = EngineKind::ALL[engine_idx];
+        let len = len_tuples * 16;
+
+        set_lane_cap(1);
+        let scalar = {
+            let (mut ssd, req) = prep_on(engine, kernel, len, salt);
+            ssd.scomp(&req).expect("scomp")
+        };
+        set_lane_cap(cap);
+        let laned = {
+            let (mut ssd, req) = prep_on(engine, kernel, len, salt);
+            ssd.scomp(&req).expect("scomp")
+        };
+        set_lane_cap(1);
+        prop_assert_eq!(format!("{scalar:?}"), format!("{laned:?}"));
+    }
+}
+
+#[test]
+fn ineligible_kernel_never_forms_lanes() {
+    let _guard = lock();
+    set_lane_cap(8);
+    let (sessions_before, _) = lane_counters();
+    let _ = run_one(2, 16 * 64, 42); // raid4: StreamStore output
+    let (sessions_after, _) = lane_counters();
+    set_lane_cap(1);
+    assert_eq!(
+        sessions_before, sessions_after,
+        "StreamStore kernel must take the scalar fallback"
+    );
+}
