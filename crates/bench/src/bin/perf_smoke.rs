@@ -11,7 +11,10 @@
 //! of ~1.0 on a single-core box reads as what it is, not as a
 //! parallelization regression; the lane pass records each experiment's
 //! lane-session count and batch width next to its wall time, so the
-//! batched-vs-scalar comparison is attributable per experiment. A
+//! batched-vs-scalar comparison is attributable per experiment. Every
+//! pass also records each experiment's copy-on-write device forks and the
+//! flash pages those forks inherited by reference — the prefix-reuse
+//! savings of the snapshot/fork sweep harness (DESIGN.md §14). A
 //! per-component section times the simulator's hot paths (interpreter,
 //! memory hierarchy, flash, streambuffer) in isolation — best of three
 //! reps, so one noisy rep on a shared box does not read as a regression —
@@ -50,6 +53,12 @@ struct ExperimentSample {
     lane_sessions: u64,
     /// Widest lane batch formed so far when this run used lanes, else 0.
     lane_width: u64,
+    /// Copy-on-write device forks taken off preconditioned images during
+    /// the run (0 for experiments that load each device from scratch).
+    forks: u64,
+    /// Flash pages the forks inherited by reference instead of reloading
+    /// — the prefix-reuse savings of the snapshot/fork sweep harness.
+    fork_pages_shared: u64,
     /// Read-retry re-senses across the run (0 unless fault injection ran).
     read_retries: u64,
     /// Pages needing ECC correction across the run.
@@ -122,6 +131,8 @@ struct RunCounters {
     epochs_skipped: u64,
     lane_sessions: u64,
     lane_width: u64,
+    forks: u64,
+    fork_pages_shared: u64,
     rel: assasin_flash::ReliabilityCounters,
 }
 
@@ -130,10 +141,12 @@ struct RunCounters {
 fn with_counters<T>(f: impl FnOnce() -> T) -> (T, RunCounters) {
     let (r0, s0) = assasin_ssd::cosim_counters();
     let (l0, _) = assasin_ssd::lane_counters();
+    let (f0, p0) = assasin_ssd::fork_counters();
     let rel0 = assasin_flash::reliability_counters();
     let out = f();
     let (r1, s1) = assasin_ssd::cosim_counters();
     let (l1, w1) = assasin_ssd::lane_counters();
+    let (f1, p1) = assasin_ssd::fork_counters();
     let rel1 = assasin_flash::reliability_counters();
     (
         out,
@@ -144,6 +157,8 @@ fn with_counters<T>(f: impl FnOnce() -> T) -> (T, RunCounters) {
             // The width counter is a process-lifetime running max; report
             // it only for runs that actually formed lane batches.
             lane_width: if l1 > l0 { w1 } else { 0 },
+            forks: f1 - f0,
+            fork_pages_shared: p1 - p0,
             rel: rel1.since(rel0),
         },
     )
@@ -158,6 +173,8 @@ fn sample(name: &'static str, wall_secs: f64, gbps: f64, c: RunCounters) -> Expe
         epochs_skipped: c.epochs_skipped,
         lane_sessions: c.lane_sessions,
         lane_width: c.lane_width,
+        forks: c.forks,
+        fork_pages_shared: c.fork_pages_shared,
         read_retries: c.rel.read_retries,
         ecc_corrected: c.rel.ecc_corrected,
         uncorrectable: c.rel.uncorrectable,
@@ -384,6 +401,13 @@ fn main() {
     eprintln!(
         "perf_smoke: lane pass {:.2}s (8-wide, widest batch {}) vs scalar {:.2}s -> {:.2}x",
         report.lanes_total_secs, widest, report.serial_total_secs, report.lane_speedup
+    );
+    let (forks, shared): (u64, u64) = report
+        .serial
+        .iter()
+        .fold((0, 0), |(f, p), s| (f + s.forks, p + s.fork_pages_shared));
+    eprintln!(
+        "perf_smoke: serial pass took {forks} CoW forks sharing {shared} flash pages by reference"
     );
     for c in &report.components {
         eprintln!(

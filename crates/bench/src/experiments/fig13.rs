@@ -8,7 +8,7 @@
 
 use crate::bundles;
 use crate::report;
-use crate::runner::offload_fresh;
+use crate::runner::LoadedImage;
 use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
@@ -77,17 +77,29 @@ fn bundle_for(name: &str) -> assasin_ssd::KernelBundle {
 ///
 /// Every (function, engine) pair is an independent sweep point; speedups
 /// over Baseline are derived after reassembly (`EngineKind::ALL` puts
-/// Baseline first in each row).
+/// Baseline first in each row). Points sharing a workload share a flash
+/// load: each function's streams are preconditioned onto one device image
+/// and every engine point forks a copy-on-write device off it, instead of
+/// re-loading the same bytes six times.
 pub fn run_with(scale: &Scale, adjusted: bool) -> Fig13Report {
     let wl = workloads(scale);
     let indices: Vec<usize> = (0..wl.len()).collect();
     let points = sweep::grid(&indices, &EngineKind::ALL);
-    let measured = sweep::run_points(&points, |&(wi, engine)| {
-        let (name, streams) = &wl[wi];
-        let r = offload_fresh(engine, adjusted, bundle_for(name), streams)
-            .unwrap_or_else(|e| panic!("{name} on {engine:?}: {e}"));
-        (r.throughput_gbps(), r.dram_per_input_byte())
-    });
+    let measured = sweep::run_forked(
+        &points,
+        |&(wi, _)| wi,
+        |&(wi, _)| {
+            let (name, streams) = &wl[wi];
+            LoadedImage::precondition(streams).unwrap_or_else(|e| panic!("{name} load: {e}"))
+        },
+        |&(wi, engine), image| {
+            let name = wl[wi].0;
+            let r = image
+                .offload(engine, adjusted, bundle_for(name))
+                .unwrap_or_else(|e| panic!("{name} on {engine:?}: {e}"));
+            (r.throughput_gbps(), r.dram_per_input_byte())
+        },
+    );
     let functions = sweep::rows_of(measured, EngineKind::ALL.len())
         .into_iter()
         .zip(&wl)

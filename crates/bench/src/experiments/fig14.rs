@@ -7,7 +7,7 @@
 
 use crate::bundles::psf_bundle;
 use crate::report;
-use crate::runner::offload_fresh;
+use crate::runner::LoadedImage;
 use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
@@ -59,21 +59,27 @@ pub struct Fig14Report {
 /// Runs the PSF sweep (shared by Figures 14 and 21).
 ///
 /// One sweep point per engine; speedups over the (first) Baseline point
-/// are derived after reassembly.
+/// are derived after reassembly. All six points scan the same lineitem
+/// CSV, so they form one prefix group: the CSV is loaded onto flash once
+/// and each engine forks a copy-on-write device off the shared image.
 pub fn run_with(scale: &Scale, adjusted: bool) -> Fig14Report {
     let gen = TpchGen::new(scale.sf, scale.seed);
     let csv = gen.table(TableId::Lineitem).to_csv();
     let input_bytes = csv.len() as u64;
-    let measured = sweep::run_points(&EngineKind::ALL, |&engine| {
-        let r = offload_fresh(
-            engine,
-            adjusted,
-            psf_bundle(psf_params()),
-            std::slice::from_ref(&csv),
-        )
-        .unwrap_or_else(|e| panic!("psf on {engine:?}: {e}"));
-        r.throughput_gbps()
-    });
+    let measured = sweep::run_forked(
+        &EngineKind::ALL,
+        |_| 0,
+        |_| {
+            LoadedImage::precondition(std::slice::from_ref(&csv))
+                .unwrap_or_else(|e| panic!("lineitem load: {e}"))
+        },
+        |&engine, image| {
+            let r = image
+                .offload(engine, adjusted, psf_bundle(psf_params()))
+                .unwrap_or_else(|e| panic!("psf on {engine:?}: {e}"));
+            r.throughput_gbps()
+        },
+    );
     let baseline = measured[0];
     let entries = EngineKind::ALL
         .iter()

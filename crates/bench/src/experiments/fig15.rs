@@ -5,7 +5,7 @@
 //! Paper shape: Baseline offload is ~1.9x (GeoMean) over CPU-only, and
 //! AssasinSb adds 1.1–1.5x (GeoMean 1.3x) on top.
 
-use crate::provider::{CpuOnlyProvider, SsdScanProvider};
+use crate::provider::{CpuOnlyProvider, LoadedTables, SsdScanProvider};
 use crate::report;
 use crate::sweep;
 use crate::Scale;
@@ -73,15 +73,22 @@ enum Mode {
 /// The three system configurations are independent sweep points (each
 /// owns its provider, whose SSD carries state across queries); the 22
 /// queries run serially inside each point, exactly as in a serial run.
+/// All three modes scan the same dataset, so it is generated and loaded
+/// once and each mode forks its provider off the shared image.
 pub fn run_queries(scale: &Scale, max_q: u32) -> Fig15Report {
     let gen = TpchGen::new(scale.sf, scale.seed);
+    let loaded = LoadedTables::load(&gen).unwrap_or_else(|e| panic!("tpch load: {e}"));
     let qs: Vec<u32> = queries::all_ids().filter(|&q| q <= max_q).collect();
     let modes = [Mode::CpuOnly, Mode::Baseline, Mode::Assasin];
     let per_mode: Vec<Vec<f64>> = sweep::run_points(&modes, |mode| {
         let mut provider: Box<dyn ScanProvider> = match mode {
-            Mode::CpuOnly => Box::new(CpuOnlyProvider::new(&gen)),
-            Mode::Baseline => Box::new(SsdScanProvider::new(EngineKind::Baseline, &gen)),
-            Mode::Assasin => Box::new(SsdScanProvider::new(EngineKind::AssasinSb, &gen)),
+            Mode::CpuOnly => Box::new(CpuOnlyProvider::from_tables(&loaded)),
+            Mode::Baseline => {
+                Box::new(SsdScanProvider::from_tables(EngineKind::Baseline, false, &loaded))
+            }
+            Mode::Assasin => {
+                Box::new(SsdScanProvider::from_tables(EngineKind::AssasinSb, false, &loaded))
+            }
         };
         qs.iter()
             .map(|&q| run_mode(provider.as_mut(), q).as_secs_f64() * 1e3)

@@ -8,7 +8,7 @@
 
 use crate::bundles::scan_bundle;
 use crate::report;
-use crate::runner::{prepare_offload, ssd_with};
+use crate::runner::LoadedImage;
 use crate::sweep;
 use crate::Scale;
 use assasin_core::EngineKind;
@@ -82,13 +82,16 @@ pub fn run(scale: &Scale) -> Fig16Report {
     // every point runs the same scan program, so the whole sweep executes
     // as one lane-batched group: the 1-, 2- and 4-core points ride in the
     // same dispatch loop as the wide points instead of each spinning its
-    // own. Normalization happens after reassembly (it only needs the
-    // calibration constant above).
+    // own. The dataset is also identical across points, so it is loaded
+    // onto flash once and every point forks a copy-on-write device off
+    // the shared image. Normalization happens after reassembly (it only
+    // needs the calibration constant above).
+    let image = LoadedImage::precondition(std::slice::from_ref(&data))
+        .unwrap_or_else(|e| panic!("scan dataset load: {e}"));
     let measured = sweep::run_lane_groups(&CORE_COUNTS, CORE_COUNTS.len(), |&cores| {
-        let mut ssd = ssd_with(EngineKind::AssasinSb, cores, false, false);
+        let ssd = image.fork(EngineKind::AssasinSb, cores, false, false);
         let flash_bound_gbps = ssd.config().flash_bw() / 1e9;
-        let req = prepare_offload(&mut ssd, scan_bundle(), std::slice::from_ref(&data))
-            .expect("dataset fits");
+        let req = image.request(scan_bundle());
         (ssd, req, flash_bound_gbps)
     });
     let mut points = Vec::new();

@@ -5,26 +5,27 @@ use assasin_analytics::{costs, Pred, Relation, ScanOutcome, ScanProvider};
 use assasin_core::EngineKind;
 use assasin_ftl::Lpa;
 use assasin_kernels::query::PsfParams;
-use assasin_ssd::{ScompRequest, Ssd};
+use assasin_ssd::{ScompRequest, Ssd, SsdError};
 use assasin_workloads::{Table, TableId, TpchGen};
 use std::collections::HashMap;
 
 use crate::bundles;
 use crate::runner::ssd_with;
 
+#[derive(Debug, Clone)]
 struct Stored {
     lpas: Vec<Lpa>,
     csv_len: u64,
     table: Table,
 }
 
-fn load_tables(ssd: &mut Ssd, gen: &TpchGen) -> HashMap<TableId, Stored> {
+fn load_tables(ssd: &mut Ssd, gen: &TpchGen) -> Result<HashMap<TableId, Stored>, SsdError> {
     let mut out = HashMap::new();
     for (i, id) in TableId::ALL.into_iter().enumerate() {
         let table = gen.table(id);
         let csv = table.to_csv();
         let base = (i as u64) * (1 << 20);
-        let lpas = ssd.load_object(base, &csv).expect("dataset fits");
+        let lpas = ssd.load_object(base, &csv)?;
         out.insert(
             id,
             Stored {
@@ -34,7 +35,41 @@ fn load_tables(ssd: &mut Ssd, gen: &TpchGen) -> HashMap<TableId, Stored> {
             },
         );
     }
-    out
+    Ok(out)
+}
+
+/// The whole TPC-H dataset generated and loaded onto one preconditioned
+/// device image, forkable into per-mode providers. Figure 15's three
+/// system configurations scan identical media, so they share one load
+/// (the media contents are engine-independent) and each fork shares every
+/// flash page copy-on-write.
+#[derive(Debug, Clone)]
+pub struct LoadedTables {
+    image: assasin_ssd::SsdImage,
+    tables: HashMap<TableId, Stored>,
+}
+
+impl LoadedTables {
+    /// Generates the dataset and loads every table once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSD load failures (capacity, device full, media).
+    pub fn load(gen: &TpchGen) -> Result<Self, SsdError> {
+        let mut ssd = ssd_with(EngineKind::Baseline, 8, false, false);
+        let tables = load_tables(&mut ssd, gen)?;
+        Ok(LoadedTables {
+            image: ssd.into_image(),
+            tables,
+        })
+    }
+
+    fn fork(&self, engine: EngineKind, adjusted: bool) -> Ssd {
+        let mut cfg = assasin_ssd::SsdConfig::engine_config(engine);
+        cfg.n_cores = 8;
+        cfg.adjusted_timing = adjusted;
+        self.image.fork(cfg)
+    }
 }
 
 /// Offloading provider: every base-table scan becomes a PSF `scomp` on the
@@ -47,17 +82,34 @@ pub struct SsdScanProvider {
 impl SsdScanProvider {
     /// Builds an SSD with `engine` compute and loads the TPC-H dataset
     /// (CSV form, as SparkSQL's datasource reads it).
-    pub fn new(engine: EngineKind, gen: &TpchGen) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSD load failures.
+    pub fn new(engine: EngineKind, gen: &TpchGen) -> Result<Self, SsdError> {
         let mut ssd = ssd_with(engine, 8, false, false);
-        let tables = load_tables(&mut ssd, gen);
-        SsdScanProvider { ssd, tables }
+        let tables = load_tables(&mut ssd, gen)?;
+        Ok(SsdScanProvider { ssd, tables })
     }
 
     /// Same, with the Section VI-F timing adjustment.
-    pub fn new_adjusted(engine: EngineKind, gen: &TpchGen) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSD load failures.
+    pub fn new_adjusted(engine: EngineKind, gen: &TpchGen) -> Result<Self, SsdError> {
         let mut ssd = ssd_with(engine, 8, true, false);
-        let tables = load_tables(&mut ssd, gen);
-        SsdScanProvider { ssd, tables }
+        let tables = load_tables(&mut ssd, gen)?;
+        Ok(SsdScanProvider { ssd, tables })
+    }
+
+    /// Forks a provider off a preloaded dataset instead of re-generating
+    /// and re-loading it (byte-identical results to [`SsdScanProvider::new`]).
+    pub fn from_tables(engine: EngineKind, adjusted: bool, loaded: &LoadedTables) -> Self {
+        SsdScanProvider {
+            ssd: loaded.fork(engine, adjusted),
+            tables: loaded.tables.clone(),
+        }
     }
 }
 
@@ -129,10 +181,23 @@ pub struct CpuOnlyProvider {
 
 impl CpuOnlyProvider {
     /// Loads the dataset onto a plain SSD.
-    pub fn new(gen: &TpchGen) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSD load failures.
+    pub fn new(gen: &TpchGen) -> Result<Self, SsdError> {
         let mut ssd = ssd_with(EngineKind::Baseline, 8, false, false);
-        let tables = load_tables(&mut ssd, gen);
-        CpuOnlyProvider { ssd, tables }
+        let tables = load_tables(&mut ssd, gen)?;
+        Ok(CpuOnlyProvider { ssd, tables })
+    }
+
+    /// Forks a provider off a preloaded dataset (byte-identical results to
+    /// [`CpuOnlyProvider::new`]).
+    pub fn from_tables(loaded: &LoadedTables) -> Self {
+        CpuOnlyProvider {
+            ssd: loaded.fork(EngineKind::Baseline, false),
+            tables: loaded.tables.clone(),
+        }
     }
 }
 
@@ -184,7 +249,7 @@ mod tests {
         for id in TableId::ALL {
             host.add_table(g.table(id));
         }
-        let mut offl = SsdScanProvider::new(EngineKind::AssasinSb, &g);
+        let mut offl = SsdScanProvider::new(EngineKind::AssasinSb, &g).expect("dataset fits");
         let preds = vec![Pred::range(10, 365, 900), Pred::range(4, 1, 30)];
         let project = vec![0u32, 5, 10];
         let a = host.scan(TableId::Lineitem, &preds, &project);
@@ -203,7 +268,7 @@ mod tests {
     #[test]
     fn cpu_only_provider_pays_parse_costs() {
         let g = gen();
-        let mut cpu = CpuOnlyProvider::new(&g);
+        let mut cpu = CpuOnlyProvider::new(&g).expect("dataset fits");
         let out = cpu.scan(TableId::Orders, &[], &[0, 1]);
         assert!(out.host_ops > out.relation.rows() as f64 * 10.0);
         assert!(out.device_time > SimDur::ZERO);
@@ -223,11 +288,26 @@ mod tests {
                 .relation
         };
         let r_host = run(&mut host);
-        let mut cpu = CpuOnlyProvider::new(&g);
+        let mut cpu = CpuOnlyProvider::new(&g).expect("dataset fits");
         let r_cpu = run(&mut cpu);
-        let mut sb = SsdScanProvider::new(EngineKind::AssasinSb, &g);
+        let mut sb = SsdScanProvider::new(EngineKind::AssasinSb, &g).expect("dataset fits");
         let r_sb = run(&mut sb);
         assert_eq!(r_host, r_cpu);
         assert_eq!(r_host, r_sb);
+    }
+
+    #[test]
+    fn forked_provider_matches_fresh_provider() {
+        let g = gen();
+        let loaded = LoadedTables::load(&g).expect("dataset fits");
+        let preds = vec![Pred::range(10, 365, 900)];
+        let project = vec![0u32, 5, 10];
+        let mut fresh = SsdScanProvider::new(EngineKind::AssasinSb, &g).expect("dataset fits");
+        let a = fresh.scan(TableId::Lineitem, &preds, &project);
+        let mut forked = SsdScanProvider::from_tables(EngineKind::AssasinSb, false, &loaded);
+        let b = forked.scan(TableId::Lineitem, &preds, &project);
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.device_time, b.device_time, "fork must not change timing");
+        assert_eq!(a.bytes_from_storage, b.bytes_from_storage);
     }
 }

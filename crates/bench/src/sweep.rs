@@ -123,6 +123,49 @@ where
     grouped.into_iter().flatten().collect()
 }
 
+/// Runs a sweep whose points share expensive setup within groups:
+/// `build` materializes one prefix (typically a preconditioned
+/// [`SsdImage`](assasin_ssd::SsdImage) plus whatever the runner needs to
+/// rebuild requests) per *group* of points, and `run` executes each point
+/// against its group's shared prefix — forking a copy-on-write device
+/// instead of re-generating and re-loading the same dataset per point.
+///
+/// `group_of` maps each point to a small group id; `build` runs once per
+/// distinct id, on the first point carrying it. Prefix builds fan out
+/// across worker threads first, then all points fan out, each borrowing
+/// its group's prefix — so with one thread the order is "all builds in
+/// group order, then all points in point order", and results are
+/// byte-identical to a serial run. Group ids need not be dense: ids that
+/// never occur simply build nothing.
+pub fn run_forked<P, I, R>(
+    points: &[P],
+    group_of: impl Fn(&P) -> usize + Sync,
+    build: impl Fn(&P) -> I + Sync,
+    run: impl Fn(&P, &I) -> R + Sync,
+) -> Vec<R>
+where
+    P: Sync,
+    I: Send + Sync,
+    R: Send,
+{
+    let gids: Vec<usize> = points.iter().map(&group_of).collect();
+    let n_groups = gids.iter().copied().max().map_or(0, |m| m + 1);
+    let mut reps: Vec<Option<usize>> = vec![None; n_groups];
+    for (i, &g) in gids.iter().enumerate() {
+        if reps[g].is_none() {
+            reps[g] = Some(i);
+        }
+    }
+    let prefixes: Vec<Option<I>> = run_points(&reps, |rep| rep.map(|i| build(&points[i])));
+    let indices: Vec<usize> = (0..points.len()).collect();
+    run_points(&indices, |&i| {
+        let prefix = prefixes[gids[i]]
+            .as_ref()
+            .expect("every occurring group id built a prefix");
+        run(&points[i], prefix)
+    })
+}
+
 /// Row-major cartesian product: `(rows[0], cols[0]), (rows[0], cols[1]),
 /// ...` — the canonical point order for two-axis sweeps.
 pub fn grid<A: Clone, B: Clone>(rows: &[A], cols: &[B]) -> Vec<(A, B)> {

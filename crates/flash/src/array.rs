@@ -19,7 +19,7 @@ pub struct ChannelStats {
     pub page_programs: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Channel {
     bus: Timeline,
     chips: Vec<FlashChip>,
@@ -35,7 +35,11 @@ struct Channel {
 /// then the chip programs (tPROG). Chips on the same channel overlap their
 /// array operations and contend only for the bus — the rank-level
 /// parallelism analogy of Section II-A.
-#[derive(Debug)]
+///
+/// Cloning an array is cheap: chip page stores are copy-on-write
+/// ([`FlashChip`]), so a clone shares every programmed page until one side
+/// writes.
+#[derive(Debug, Clone)]
 pub struct FlashArray {
     geom: FlashGeometry,
     timing: FlashTiming,
@@ -341,6 +345,73 @@ impl FlashArray {
                 chip.reset_time();
             }
         }
+    }
+
+    /// Total programmed pages across every chip (fork-cost accounting).
+    pub fn written_pages(&self) -> u64 {
+        self.channels
+            .iter()
+            .flat_map(|ch| ch.chips.iter())
+            .map(|c| c.written_pages() as u64)
+            .sum()
+    }
+
+    /// Serializes every channel (bus schedule, traffic stats, chips) and
+    /// the reliability counters. Geometry, timing and fault config are NOT
+    /// encoded — they come from the device config at restore, which the
+    /// SSD-level container validates.
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        for ch in &self.channels {
+            ch.bus.save_state(enc);
+            enc.u64(ch.stats.bytes_read);
+            enc.u64(ch.stats.bytes_written);
+            enc.u64(ch.stats.page_reads);
+            enc.u64(ch.stats.page_programs);
+            for chip in &ch.chips {
+                chip.save_state(enc);
+            }
+        }
+        enc.u64(self.rel.page_reads);
+        enc.u64(self.rel.ecc_corrected);
+        enc.u64(self.rel.read_retries);
+        enc.u64(self.rel.uncorrectable);
+        enc.u64(self.rel.program_fails);
+        enc.u64(self.rel.erase_fails);
+        enc.u64(self.rel.grown_bad_blocks);
+    }
+
+    /// Restores a snapshot taken by [`FlashArray::save_state`] onto this
+    /// freshly-constructed array (same geometry/timing/fault).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    pub fn load_snapshot(
+        &mut self,
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<(), assasin_snap::SnapError> {
+        for ch in &mut self.channels {
+            ch.bus = Timeline::restore_state(dec)?;
+            ch.stats = ChannelStats {
+                bytes_read: dec.u64()?,
+                bytes_written: dec.u64()?,
+                page_reads: dec.u64()?,
+                page_programs: dec.u64()?,
+            };
+            for chip in &mut ch.chips {
+                chip.load_snapshot(dec)?;
+            }
+        }
+        self.rel = ReliabilityStats {
+            page_reads: dec.u64()?,
+            ecc_corrected: dec.u64()?,
+            read_retries: dec.u64()?,
+            uncorrectable: dec.u64()?,
+            program_fails: dec.u64()?,
+            erase_fails: dec.u64()?,
+            grown_bad_blocks: dec.u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@ use crate::fault::{FaultConfig, PageHealth};
 use crate::{FlashError, FlashGeometry, PhysPageAddr};
 use assasin_sim::{SimDur, SimTime, Timeline};
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// One flash chip (logical die): stores page contents and models the chip's
 /// busy time for sense/program/erase operations.
@@ -17,11 +18,16 @@ use bytes::Bytes;
 /// two bounds-checked indexes rather than a hash. Plan scheduling senses
 /// every input page of a run up front, which made the hash the hottest part
 /// of the flash model.
+///
+/// Block page stores are `Arc`-backed so cloning a chip (forking a device
+/// image for a sweep point) shares every programmed page; the first program
+/// or erase touching a shared block pays one block-sized copy
+/// (`Arc::make_mut`), reads never copy.
 #[derive(Debug, Clone)]
 pub struct FlashChip {
     /// Page contents: outer index `plane * blocks_per_plane + block`,
     /// inner index the page within the block.
-    blocks: Vec<Option<Box<[Option<Bytes>]>>>,
+    blocks: Vec<Option<Arc<Vec<Option<Bytes>>>>>,
     pages_per_block: usize,
     /// Programmed-page count (kept so wear accounting stays O(1)).
     written: usize,
@@ -166,8 +172,9 @@ impl FlashChip {
             return Err(FlashError::GrownBad(addr));
         }
         let pages_per_block = self.pages_per_block;
-        let block =
-            self.blocks[bi].get_or_insert_with(|| vec![None; pages_per_block].into_boxed_slice());
+        let block = Arc::make_mut(
+            self.blocks[bi].get_or_insert_with(|| Arc::new(vec![None; pages_per_block])),
+        );
         let slot = &mut block[addr.page as usize];
         if slot.is_some() {
             return Err(FlashError::ProgramWithoutErase(addr));
@@ -285,6 +292,93 @@ impl FlashChip {
     /// Returns the chip to idle at t = 0, keeping data (between phases).
     pub fn reset_time(&mut self) {
         self.busy.reset_time();
+    }
+
+    /// Serializes the chip. The page store uses a sparse encoding: only
+    /// allocated blocks appear (prefixed with their index), and within a
+    /// block each page carries a presence flag — a freshly-loaded device
+    /// with most blocks untouched costs a handful of bytes per empty block
+    /// instead of `pages_per_block` empty slots.
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        enc.u32(self.channel);
+        enc.u32(self.chip);
+        enc.len_of(self.blocks.iter().filter(|b| b.is_some()).count());
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let Some(pages) = block else { continue };
+            enc.len_of(bi);
+            for page in pages.iter() {
+                match page {
+                    Some(data) => {
+                        enc.bool(true);
+                        enc.bytes(data);
+                    }
+                    None => enc.bool(false),
+                }
+            }
+        }
+        enc.len_of(self.written);
+        self.busy.save_state(enc);
+        enc.u64(self.reads);
+        enc.u64(self.programs);
+        enc.u64(self.erases);
+        for &e in &self.erase_counts {
+            enc.u32(e);
+        }
+        for &b in &self.bad {
+            enc.bool(b);
+        }
+        enc.u64(self.fault_seq);
+    }
+
+    /// Restores a snapshot taken by [`FlashChip::save_state`] onto this
+    /// freshly-constructed chip (same geometry and coordinates).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, a coordinate mismatch (the section belongs to a
+    /// different chip), or block/page indexes outside the geometry.
+    pub fn load_snapshot(
+        &mut self,
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<(), assasin_snap::SnapError> {
+        let (channel, chip) = (dec.u32()?, dec.u32()?);
+        if (channel, chip) != (self.channel, self.chip) {
+            return Err(assasin_snap::SnapError::Malformed(format!(
+                "chip section for ({channel}, {chip}) routed to ({}, {})",
+                self.channel, self.chip
+            )));
+        }
+        self.blocks.fill(None);
+        let n_blocks = dec.len_of()?;
+        for _ in 0..n_blocks {
+            let bi = dec.len_of()?;
+            if bi >= self.blocks.len() {
+                return Err(assasin_snap::SnapError::Malformed(format!(
+                    "block index {bi} outside {} blocks",
+                    self.blocks.len()
+                )));
+            }
+            let mut pages = vec![None; self.pages_per_block];
+            for slot in &mut pages {
+                if dec.bool()? {
+                    *slot = Some(Bytes::from(dec.bytes()?.to_vec()));
+                }
+            }
+            self.blocks[bi] = Some(Arc::new(pages));
+        }
+        self.written = dec.len_of()?;
+        self.busy = Timeline::restore_state(dec)?;
+        self.reads = dec.u64()?;
+        self.programs = dec.u64()?;
+        self.erases = dec.u64()?;
+        for e in &mut self.erase_counts {
+            *e = dec.u32()?;
+        }
+        for b in &mut self.bad {
+            *b = dec.bool()?;
+        }
+        self.fault_seq = dec.u64()?;
+        Ok(())
     }
 }
 

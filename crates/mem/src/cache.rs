@@ -286,6 +286,75 @@ impl Cache {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Serializes geometry, every line, the MRU predictors and the
+    /// counters. Derived fields (shift/split) are recomputed on restore.
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        enc.u32(self.geom.size_bytes);
+        enc.u32(self.geom.ways);
+        enc.u32(self.geom.line_bytes);
+        enc.len_of(self.lines.len());
+        for l in self.lines.iter() {
+            enc.u64(l.tag);
+            enc.bool(l.valid);
+            enc.bool(l.dirty);
+            enc.u64(l.stamp);
+        }
+        for &w in self.mru.iter() {
+            enc.u32(w);
+        }
+        enc.u64(self.tick);
+        enc.u64(self.hits);
+        enc.u64(self.misses);
+    }
+
+    /// Rebuilds a cache from [`Cache::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a line count inconsistent with the geometry.
+    pub fn restore_state(
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<Self, assasin_snap::SnapError> {
+        let geom = CacheGeometry {
+            size_bytes: dec.u32()?,
+            ways: dec.u32()?,
+            line_bytes: dec.u32()?,
+        };
+        if !geom.line_bytes.is_power_of_two() || geom.sets() == 0 {
+            return Err(assasin_snap::SnapError::Malformed(format!(
+                "cache geometry {geom:?}"
+            )));
+        }
+        let mut cache = Cache::new(geom);
+        let n = dec.len_of()?;
+        if n != cache.lines.len() {
+            return Err(assasin_snap::SnapError::Malformed(format!(
+                "cache line count {n} != {} for {geom:?}",
+                cache.lines.len()
+            )));
+        }
+        for l in cache.lines.iter_mut() {
+            l.tag = dec.u64()?;
+            l.valid = dec.bool()?;
+            l.dirty = dec.bool()?;
+            l.stamp = dec.u64()?;
+        }
+        for w in cache.mru.iter_mut() {
+            let v = dec.u32()?;
+            if v >= geom.ways {
+                return Err(assasin_snap::SnapError::Malformed(format!(
+                    "MRU way {v} out of {} ways",
+                    geom.ways
+                )));
+            }
+            *w = v;
+        }
+        cache.tick = dec.u64()?;
+        cache.hits = dec.u64()?;
+        cache.misses = dec.u64()?;
+        Ok(cache)
+    }
 }
 
 #[cfg(test)]

@@ -291,6 +291,96 @@ impl MemHierarchy {
     pub fn prefetch_counters(&self) -> Option<(u64, u64)> {
         self.prefetcher.as_ref().map(|p| p.counters())
     }
+
+    /// Serializes caches, prefetcher and in-flight prefetches. The config
+    /// and the shared DRAM handle are supplied again at restore; the
+    /// in-flight map is written sorted by line address so identical states
+    /// produce identical bytes.
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        for cache in [&self.l1, &self.l2] {
+            match cache {
+                Some(c) => {
+                    enc.bool(true);
+                    c.save_state(enc);
+                }
+                None => enc.bool(false),
+            }
+        }
+        match &self.prefetcher {
+            Some(p) => {
+                enc.bool(true);
+                p.save_state(enc);
+            }
+            None => enc.bool(false),
+        }
+        let mut pf: Vec<(u64, SimTime)> = self.inflight_pf.iter().map(|(&k, &v)| (k, v)).collect();
+        pf.sort_unstable_by_key(|&(k, _)| k);
+        enc.len_of(pf.len());
+        for (line, ready) in pf {
+            enc.u64(line);
+            enc.u64(ready.as_ps());
+        }
+        enc.u64(self.dram_fill_bytes);
+    }
+
+    /// Rebuilds a hierarchy from [`MemHierarchy::save_state`] bytes over
+    /// the supplied config and shared DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a cache/prefetcher presence mismatch with
+    /// `cfg` (the snapshot was taken under a different hierarchy shape).
+    pub fn restore_state(
+        cfg: HierarchyConfig,
+        dram: SharedDram,
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<Self, assasin_snap::SnapError> {
+        let mut h = MemHierarchy::new(cfg, dram);
+        for (slot, want) in [(&mut h.l1, cfg.l1.is_some()), (&mut h.l2, cfg.l2.is_some())] {
+            let present = dec.bool()?;
+            if present != want {
+                return Err(assasin_snap::SnapError::Malformed(
+                    "hierarchy cache presence mismatch".into(),
+                ));
+            }
+            if present {
+                *slot = Some(Cache::restore_state(dec)?);
+            }
+        }
+        let pf_present = dec.bool()?;
+        if pf_present != cfg.prefetch {
+            return Err(assasin_snap::SnapError::Malformed(
+                "hierarchy prefetcher presence mismatch".into(),
+            ));
+        }
+        if pf_present {
+            h.prefetcher = Some(DcptPrefetcher::restore_state(dec)?);
+        }
+        let n = dec.len_of()?;
+        h.inflight_pf = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = dec.u64()?;
+            let ready = SimTime::from_ps(dec.u64()?);
+            h.inflight_pf.insert(line, ready);
+        }
+        h.dram_fill_bytes = dec.u64()?;
+        Ok(h)
+    }
+
+    /// In-place variant of [`MemHierarchy::restore_state`] for containers
+    /// that already hold a constructed hierarchy with the right config and
+    /// DRAM handle (the decoded state replaces the current one).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MemHierarchy::restore_state`].
+    pub fn load_snapshot(
+        &mut self,
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<(), assasin_snap::SnapError> {
+        *self = Self::restore_state(self.cfg, self.dram.clone(), dec)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

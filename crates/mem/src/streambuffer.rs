@@ -419,6 +419,86 @@ impl StreamBuffer {
     pub fn traffic(&self) -> (u64, u64) {
         (self.bytes_in, self.bytes_out)
     }
+
+    /// Serializes the config, every ring (including buffered page payloads
+    /// and consume cursors) and the traffic counters.
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        enc.u32(self.cfg.streams);
+        enc.u32(self.cfg.pages_per_stream);
+        enc.u32(self.cfg.page_bytes);
+        for s in &self.ins {
+            enc.len_of(s.queue.len());
+            for p in &s.queue {
+                enc.u64(p.avail.as_ps());
+                enc.bytes(&p.data);
+                enc.len_of(p.offset);
+            }
+            enc.bool(s.closed);
+            enc.u64(s.head);
+            enc.u64(s.tail);
+        }
+        for s in &self.outs {
+            enc.bytes(&s.current);
+            enc.len_of(s.pending.len());
+            for &t in &s.pending {
+                enc.u64(t.as_ps());
+            }
+            enc.u64(s.head);
+            enc.u64(s.tail);
+        }
+        enc.u64(self.bytes_in);
+        enc.u64(self.bytes_out);
+    }
+
+    /// Rebuilds a streambuffer from [`StreamBuffer::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a page cursor past its page's end.
+    pub fn restore_state(
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<Self, assasin_snap::SnapError> {
+        let cfg = StreamBufferConfig {
+            streams: dec.u32()?,
+            pages_per_stream: dec.u32()?,
+            page_bytes: dec.u32()?,
+        };
+        let mut sb = StreamBuffer::new(cfg);
+        for s in &mut sb.ins {
+            let n = dec.len_of()?;
+            for _ in 0..n {
+                let avail = SimTime::from_ps(dec.u64()?);
+                let data = Bytes::from(dec.bytes()?.to_vec());
+                let offset = dec.len_of()?;
+                if offset > data.len() {
+                    return Err(assasin_snap::SnapError::Malformed(format!(
+                        "stream page offset {offset} > len {}",
+                        data.len()
+                    )));
+                }
+                s.queue.push_back(InPage {
+                    avail,
+                    data,
+                    offset,
+                });
+            }
+            s.closed = dec.bool()?;
+            s.head = dec.u64()?;
+            s.tail = dec.u64()?;
+        }
+        for s in &mut sb.outs {
+            s.current = dec.bytes()?.to_vec();
+            let n = dec.len_of()?;
+            for _ in 0..n {
+                s.pending.push_back(SimTime::from_ps(dec.u64()?));
+            }
+            s.head = dec.u64()?;
+            s.tail = dec.u64()?;
+        }
+        sb.bytes_in = dec.u64()?;
+        sb.bytes_out = dec.u64()?;
+        Ok(sb)
+    }
 }
 
 #[cfg(test)]

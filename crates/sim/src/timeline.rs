@@ -248,6 +248,56 @@ impl Timeline {
         self.newest_ready = SimTime::ZERO;
         self.reset_stats();
     }
+
+    /// Serializes the full schedule and accounting (DESIGN.md §14).
+    pub fn save_state(&self, enc: &mut assasin_snap::Encoder) {
+        enc.str(&self.name);
+        enc.u64(self.floor.as_ps());
+        enc.len_of(self.intervals.len());
+        for &(s, e) in &self.intervals {
+            enc.u64(s);
+            enc.u64(e);
+        }
+        enc.u64(self.newest_ready.as_ps());
+        enc.u64(self.busy.as_ps());
+        enc.u64(self.grants);
+        enc.u64(self.queued_total.as_ps());
+    }
+
+    /// Rebuilds a timeline from [`Timeline::save_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or an unsorted/overlapping interval list.
+    pub fn restore_state(
+        dec: &mut assasin_snap::Decoder<'_>,
+    ) -> Result<Self, assasin_snap::SnapError> {
+        let name = dec.str()?.to_owned();
+        let floor = SimTime::from_ps(dec.u64()?);
+        let n = dec.len_of()?;
+        let mut intervals = VecDeque::with_capacity(n);
+        let mut prev_end = 0u64;
+        for _ in 0..n {
+            let s = dec.u64()?;
+            let e = dec.u64()?;
+            if s >= e || (!intervals.is_empty() && s < prev_end) {
+                return Err(assasin_snap::SnapError::Malformed(format!(
+                    "timeline {name:?}: interval ({s}, {e}) out of order"
+                )));
+            }
+            prev_end = e;
+            intervals.push_back((s, e));
+        }
+        Ok(Timeline {
+            name,
+            floor,
+            intervals,
+            newest_ready: SimTime::from_ps(dec.u64()?),
+            busy: SimDur::from_ps(dec.u64()?),
+            grants: dec.u64()?,
+            queued_total: SimDur::from_ps(dec.u64()?),
+        })
+    }
 }
 
 #[cfg(test)]

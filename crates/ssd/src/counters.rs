@@ -13,6 +13,8 @@ static ROUNDS: AtomicU64 = AtomicU64::new(0);
 static EPOCHS_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static LANE_SESSIONS: AtomicU64 = AtomicU64::new(0);
 static LANE_WIDTH_MAX: AtomicU64 = AtomicU64::new(0);
+static FORKS: AtomicU64 = AtomicU64::new(0);
+static FORK_PAGES_SHARED: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative `(rounds_executed, epochs_skipped)` over all co-simulation
 /// loops run so far in this process. An epoch is "skipped" when the
@@ -45,4 +47,22 @@ pub fn lane_counters() -> (u64, u64) {
 pub(crate) fn record_lanes(width: u64) {
     LANE_SESSIONS.fetch_add(1, Ordering::Relaxed);
     LANE_WIDTH_MAX.fetch_max(width, Ordering::Relaxed);
+}
+
+/// Cumulative `(forks, pages_shared)` over all
+/// [`SsdImage::fork`](crate::SsdImage::fork) calls so far in this process:
+/// how many devices were cloned off a preconditioned image, and how many
+/// written flash pages each fork inherited by reference instead of
+/// re-loading. The perf harness records these per experiment to attribute
+/// the prefix-sharing win.
+pub fn fork_counters() -> (u64, u64) {
+    (
+        FORKS.load(Ordering::Relaxed),
+        FORK_PAGES_SHARED.load(Ordering::Relaxed),
+    )
+}
+
+pub(crate) fn record_fork(pages_shared: u64) {
+    FORKS.fetch_add(1, Ordering::Relaxed);
+    FORK_PAGES_SHARED.fetch_add(pages_shared, Ordering::Relaxed);
 }

@@ -43,7 +43,7 @@ mod request;
 mod ssd;
 
 pub use config::{CosimMode, SsdConfig};
-pub use counters::{cosim_counters, lane_counters};
+pub use counters::{cosim_counters, fork_counters, lane_counters};
 pub use error::SsdError;
 pub use request::{CoreReport, KernelBundle, OutputTarget, ScompRequest, ScompResult};
-pub use ssd::{scomp_group, set_lane_cap, PlainIoResult, Ssd};
+pub use ssd::{scomp_group, set_lane_cap, PlainIoResult, Ssd, SsdImage};

@@ -16,8 +16,28 @@ use assasin_isa::{Instr, Program, Reg};
 use assasin_kernels::AccessStyle;
 use assasin_mem::{Dram, SharedDram};
 use assasin_sim::{Bandwidth, SimDur, SimTime, Timeline};
+use assasin_snap::{Decoder, Encoder, SnapError};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Snapshot container magic (`ASNP` little-endian).
+const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"ASNP");
+/// Container format version; bumped on any layer encoding change.
+const SNAP_VERSION: u16 = 1;
+
+const TAG_FLASH: u8 = 0xF1;
+const TAG_FTL: u8 = 0xF2;
+const TAG_DRAM: u8 = 0xF3;
+const TAG_PCIE: u8 = 0xF4;
+const TAG_XBAR: u8 = 0xF5;
+
+/// The media-identity fingerprint: the config facets that determine what
+/// the flash array and FTL contain after a load. Two configs with equal
+/// fingerprints produce byte-identical device contents from the same
+/// writes, whatever their engine/core/link settings.
+fn media_fingerprint(cfg: &SsdConfig) -> String {
+    format!("{:?}|{:?}|{:?}", cfg.geometry, cfg.timing, cfg.fault)
+}
 
 /// Result of a conventional (non-compute) IO request.
 #[derive(Debug, Clone)]
@@ -49,6 +69,46 @@ pub struct Ssd {
     dram: SharedDram,
     pcie: Bandwidth,
     crossbar: Vec<Timeline>,
+}
+
+/// A preconditioned device image: the flash contents and FTL state of an
+/// [`Ssd`], detached from its per-device timing structures and cheap to
+/// fork into many identically loaded devices. Flash page payloads sit in
+/// refcounted copy-on-write block arenas, so a fork costs O(blocks)
+/// pointer bumps and shares every written page with its siblings until a
+/// write diverges a block.
+///
+/// Unlike [`Ssd`] (whose shared-DRAM handle is single-threaded), an image
+/// is `Send + Sync`: sweep threads fork from one shared image in parallel.
+#[derive(Debug, Clone)]
+pub struct SsdImage {
+    /// Fingerprint of the config facets that shaped the media contents.
+    media_fp: String,
+    flash: FlashArray,
+    ftl: Ftl,
+}
+
+impl SsdImage {
+    /// Forks a runnable device off this image under `cfg`, which may vary
+    /// engine, core count, link and timing-adjustment settings freely but
+    /// must keep the media identity (geometry, NAND timing, fault model)
+    /// the image was loaded under — those determined the bytes on flash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` changes geometry, NAND timing or the fault model.
+    pub fn fork(&self, cfg: SsdConfig) -> Ssd {
+        assert_eq!(
+            media_fingerprint(&cfg),
+            self.media_fp,
+            "fork config changes the media this image was loaded on"
+        );
+        let mut ssd = Ssd::new(cfg);
+        ssd.flash = self.flash.clone();
+        ssd.ftl = self.ftl.clone();
+        crate::counters::record_fork(ssd.flash.written_pages());
+        ssd
+    }
 }
 
 impl Ssd {
@@ -171,6 +231,106 @@ impl Ssd {
             lpas.push(lpa);
         }
         Ok(lpas)
+    }
+
+    /// Serializes the whole device — flash contents, FTL state, DRAM,
+    /// PCIe and crossbar timelines — into a versioned byte image.
+    ///
+    /// The configuration itself is not re-encoded field by field: its
+    /// `Debug` rendering is stored as a fingerprint and the caller supplies
+    /// the same [`SsdConfig`] again at [`Ssd::restore_state`], which fails
+    /// with [`SnapError::ConfigMismatch`] on any drift. Identical device
+    /// states produce identical bytes (every layer encodes canonically),
+    /// so snapshots can be compared directly for equivalence.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(1 << 16);
+        enc.u32(SNAP_MAGIC);
+        enc.u16(SNAP_VERSION);
+        enc.str(&format!("{:?}", self.cfg));
+        enc.tag(TAG_FLASH);
+        self.flash.save_state(&mut enc);
+        enc.tag(TAG_FTL);
+        self.ftl.save_state(&mut enc);
+        enc.tag(TAG_DRAM);
+        self.dram.borrow().save_state(&mut enc);
+        enc.tag(TAG_PCIE);
+        self.pcie.save_state(&mut enc);
+        enc.tag(TAG_XBAR);
+        enc.len_of(self.crossbar.len());
+        for p in &self.crossbar {
+            p.save_state(&mut enc);
+        }
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a device from [`Ssd::save_state`] bytes under the same
+    /// configuration. Running a restored device forward is byte- and
+    /// cycle-identical to running the original forward from the snapshot
+    /// point (including fault-injection state: the per-chip fault sequence
+    /// counters are part of the image).
+    ///
+    /// # Errors
+    ///
+    /// Fails with a typed [`SnapError`] on bad magic, an unsupported
+    /// version, a configuration fingerprint mismatch, truncation, trailing
+    /// bytes, or any structurally impossible field.
+    pub fn restore_state(cfg: SsdConfig, bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut dec = Decoder::new(bytes);
+        let magic = dec.u32()?;
+        if magic != SNAP_MAGIC {
+            return Err(SnapError::BadMagic { found: magic });
+        }
+        let version = dec.u16()?;
+        if version != SNAP_VERSION {
+            return Err(SnapError::BadVersion {
+                found: version,
+                expected: SNAP_VERSION,
+            });
+        }
+        let found = dec.str()?;
+        let expected = format!("{:?}", cfg);
+        if found != expected {
+            return Err(SnapError::ConfigMismatch {
+                found: found.to_string(),
+                expected,
+            });
+        }
+        let mut ssd = Ssd::new(cfg);
+        dec.expect_tag(TAG_FLASH)?;
+        ssd.flash.load_snapshot(&mut dec)?;
+        dec.expect_tag(TAG_FTL)?;
+        ssd.ftl.load_snapshot(&mut dec)?;
+        dec.expect_tag(TAG_DRAM)?;
+        let dram = Dram::restore_state(&mut dec)?;
+        *ssd.dram.borrow_mut() = dram;
+        dec.expect_tag(TAG_PCIE)?;
+        ssd.pcie = Bandwidth::restore_state(&mut dec)?;
+        dec.expect_tag(TAG_XBAR)?;
+        let n = dec.len_of()?;
+        if n != ssd.crossbar.len() {
+            return Err(SnapError::Malformed(format!(
+                "crossbar port count {n}, config has {}",
+                ssd.crossbar.len()
+            )));
+        }
+        for p in ssd.crossbar.iter_mut() {
+            *p = Timeline::restore_state(&mut dec)?;
+        }
+        dec.finish()?;
+        Ok(ssd)
+    }
+
+    /// Detaches this device's loaded media (flash contents + FTL state)
+    /// into a [`SsdImage`] that can be forked into many identically
+    /// preconditioned devices. Quiesces first, so every fork starts from
+    /// idle at t = 0 exactly like a freshly loaded device.
+    pub fn into_image(mut self) -> SsdImage {
+        self.quiesce();
+        SsdImage {
+            media_fp: media_fingerprint(&self.cfg),
+            flash: self.flash,
+            ftl: self.ftl,
+        }
     }
 
     /// Returns all shared resources to idle at t = 0, keeping data — the

@@ -7,7 +7,7 @@
 use assasin::analytics::{queries, Executor, HostCpuModel, ScanProvider};
 use assasin::core::EngineKind;
 use assasin::workloads::TpchGen;
-use assasin_bench::provider::{CpuOnlyProvider, SsdScanProvider};
+use assasin_bench::provider::{CpuOnlyProvider, LoadedTables, SsdScanProvider};
 
 fn main() {
     let query: u32 = std::env::args()
@@ -17,9 +17,11 @@ fn main() {
     let gen = TpchGen::new(0.01, 42);
     println!("TPC-H Q{query} at SF {}", gen.scale_factor());
 
-    let mut cpu = CpuOnlyProvider::new(&gen);
-    let mut baseline = SsdScanProvider::new(EngineKind::Baseline, &gen);
-    let mut assasin = SsdScanProvider::new(EngineKind::AssasinSb, &gen);
+    // One generation + flash load; each backend forks the image CoW.
+    let loaded = LoadedTables::load(&gen).expect("dataset fits");
+    let mut cpu = CpuOnlyProvider::from_tables(&loaded);
+    let mut baseline = SsdScanProvider::from_tables(EngineKind::Baseline, false, &loaded);
+    let mut assasin = SsdScanProvider::from_tables(EngineKind::AssasinSb, false, &loaded);
 
     let run = |name: &str, provider: &mut dyn ScanProvider| {
         let plan = queries::plan(query);
