@@ -1,0 +1,37 @@
+//! Process-wide array statistics for the perf harness.
+//!
+//! Mirrors `assasin_ssd`'s counter idiom: cumulative atomics the perf
+//! harness snapshots before/after a region and subtracts, so parallel
+//! sweeps aggregate correctly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static OPS: AtomicU64 = AtomicU64::new(0);
+static MERGED_EVENTS: AtomicU64 = AtomicU64::new(0);
+static LINK_STALL_PS: AtomicU64 = AtomicU64::new(0);
+static REBUILD_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(array_ops, merged_events, link_stall_ps, rebuild_bytes)`
+/// over every `SsdArray` operation in this process: how many host-visible
+/// sync intervals ran, how many per-device completions crossed the
+/// deterministic `(time, device, seq)` merge, total picoseconds transfers
+/// spent queued at the shared root, and bytes written to replacement
+/// devices by rebuilds.
+pub fn array_counters() -> (u64, u64, u64, u64) {
+    (
+        OPS.load(Ordering::Relaxed),
+        MERGED_EVENTS.load(Ordering::Relaxed),
+        LINK_STALL_PS.load(Ordering::Relaxed),
+        REBUILD_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+pub(crate) fn record_op(merged_events: u64, link_stall_ps: u64) {
+    OPS.fetch_add(1, Ordering::Relaxed);
+    MERGED_EVENTS.fetch_add(merged_events, Ordering::Relaxed);
+    LINK_STALL_PS.fetch_add(link_stall_ps, Ordering::Relaxed);
+}
+
+pub(crate) fn record_rebuild(bytes: u64) {
+    REBUILD_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}

@@ -1,0 +1,324 @@
+//! Per-device execution engine: serial or worker-threaded, with a
+//! deterministic completion merge.
+//!
+//! `Ssd` is `!Send` (its DRAM is an `Rc`-shared cell), so devices can
+//! never migrate between threads. Instead each worker thread *builds
+//! and owns* its devices — forked on-thread from a shared
+//! `Arc<SsdImage>` or constructed fresh from the (Copy, Send) config —
+//! and only `Send` command/reply values cross the channel. The calling
+//! thread is executor 0 and runs its own share of devices while the
+//! workers run theirs, the same caller-participates shape as
+//! `assasin_parallel::par_map`.
+//!
+//! Determinism does not depend on scheduling: every command runs
+//! against a quiesced device and reports a standalone elapsed time, and
+//! commands for one device always execute in issue (`seq`) order on the
+//! one thread that owns it. The host rebuilds global time afterwards —
+//! per-device clocks, then the `(completion, device, seq)` merge that
+//! fixes the order in which the shared root link is charged.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use assasin_ftl::Lpa;
+use assasin_parallel::{claim_threads, ThreadLease};
+use assasin_sim::{SimDur, SimTime};
+use assasin_ssd::{ScompRequest, ScompResult, Ssd, SsdConfig, SsdError, SsdImage};
+
+use crate::config::ArrayExec;
+
+/// How an executor builds the devices it owns. Cheap to clone and
+/// `Send`: per-device configs plus an optional shared preconditioned
+/// image every device forks from.
+#[derive(Clone)]
+pub(crate) struct DeviceSource {
+    pub cfgs: Arc<Vec<SsdConfig>>,
+    pub image: Option<Arc<SsdImage>>,
+}
+
+impl DeviceSource {
+    fn build(&self, device: usize) -> Ssd {
+        let cfg = self.cfgs[device];
+        match &self.image {
+            Some(img) => img.fork(cfg),
+            None => Ssd::new(cfg),
+        }
+    }
+}
+
+/// One command against one device. Everything here is `Send`; the
+/// device itself never moves.
+pub(crate) enum DeviceCmd {
+    /// Untimed dataset load (`Ssd::load_object` semantics).
+    Store { first_lpa: u64, data: Arc<[u8]> },
+    /// Timed conventional read of `bytes` spanning `lpas`.
+    Read { lpas: Vec<Lpa>, bytes: u64 },
+    /// Timed on-device computation.
+    Scomp { req: Box<ScompRequest> },
+    /// Swap in a factory-blank replacement device (rebuild target).
+    Replace,
+}
+
+pub(crate) enum DeviceReply {
+    Store { lpas: Vec<Lpa> },
+    Read { data: Vec<u8>, elapsed: SimDur },
+    Scomp { result: Box<ScompResult> },
+    Replaced,
+}
+
+fn exec(
+    ssd: &mut Ssd,
+    source: &DeviceSource,
+    device: usize,
+    cmd: DeviceCmd,
+) -> Result<DeviceReply, SsdError> {
+    match cmd {
+        DeviceCmd::Store { first_lpa, data } => {
+            let lpas = ssd.load_object(first_lpa, &data)?;
+            Ok(DeviceReply::Store { lpas })
+        }
+        DeviceCmd::Read { lpas, bytes } => {
+            let r = ssd.read_lpas(&lpas, bytes)?;
+            Ok(DeviceReply::Read {
+                data: r.data,
+                elapsed: r.elapsed,
+            })
+        }
+        DeviceCmd::Scomp { req } => Ok(DeviceReply::Scomp {
+            result: Box::new(ssd.scomp(&req)?),
+        }),
+        DeviceCmd::Replace => {
+            // A replacement drive is factory-blank: same config, no
+            // image fork (the rebuild repopulates it from its peers).
+            *ssd = Ssd::new(source.cfgs[device]);
+            Ok(DeviceReply::Replaced)
+        }
+    }
+}
+
+type CmdBatch = Vec<(u64, usize, DeviceCmd)>;
+type ReplyBatch = Vec<(u64, Result<DeviceReply, SsdError>)>;
+
+struct Worker {
+    tx: Option<Sender<CmdBatch>>,
+    rx: Receiver<ReplyBatch>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Closing the command channel ends the worker loop; the join
+        // result is irrelevant on teardown (a panic already surfaced at
+        // the recv() in run_batch).
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn spawn_worker(devices: Vec<usize>, source: DeviceSource) -> Worker {
+    let (tx_cmd, rx_cmd) = channel::<CmdBatch>();
+    let (tx_rep, rx_rep) = channel::<ReplyBatch>();
+    let handle = std::thread::Builder::new()
+        .name("array-worker".into())
+        .spawn(move || {
+            let mut owned: HashMap<usize, Ssd> =
+                devices.into_iter().map(|d| (d, source.build(d))).collect();
+            while let Ok(batch) = rx_cmd.recv() {
+                let replies: ReplyBatch = batch
+                    .into_iter()
+                    .map(|(seq, dev, cmd)| {
+                        let ssd = owned
+                            .get_mut(&dev)
+                            .expect("command routed to owning worker");
+                        (seq, exec(ssd, &source, dev, cmd))
+                    })
+                    .collect();
+                if tx_rep.send(replies).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn array worker thread");
+    Worker {
+        tx: Some(tx_cmd),
+        rx: rx_rep,
+        handle: Some(handle),
+    }
+}
+
+/// The device executor: host-local devices plus zero or more worker
+/// threads, each owning a fixed subset.
+pub(crate) struct Engine {
+    source: DeviceSource,
+    local: HashMap<usize, Ssd>,
+    workers: Vec<Worker>,
+    /// `owner[d]` — `Some(w)` if device `d` lives on worker `w`, `None`
+    /// if it lives on the calling thread.
+    owner: Vec<Option<usize>>,
+    _lease: Option<ThreadLease>,
+    requested_workers: usize,
+    effective_workers: usize,
+}
+
+impl Engine {
+    pub(crate) fn new(devices: usize, source: DeviceSource, exec: ArrayExec) -> Engine {
+        let (requested, lease) = match exec {
+            ArrayExec::Serial => (1, None),
+            ArrayExec::Threaded { workers } => {
+                let want = workers.clamp(1, devices.max(1));
+                (want, Some(claim_threads(want.saturating_sub(1))))
+            }
+        };
+        let spawned = lease.as_ref().map_or(0, |l| l.claimed());
+        let executors = spawned + 1;
+        let mut owner = vec![None; devices];
+        let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); spawned];
+        for (d, slot) in owner.iter_mut().enumerate() {
+            let ex = d % executors;
+            if ex > 0 {
+                *slot = Some(ex - 1);
+                per_worker[ex - 1].push(d);
+            }
+        }
+        let workers: Vec<Worker> = per_worker
+            .into_iter()
+            .map(|devs| spawn_worker(devs, source.clone()))
+            .collect();
+        let local: HashMap<usize, Ssd> = owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(d, _)| (d, source.build(d)))
+            .collect();
+        Engine {
+            source,
+            local,
+            workers,
+            owner,
+            _lease: lease,
+            requested_workers: requested,
+            effective_workers: executors,
+        }
+    }
+
+    /// Executors the caller asked for (calling thread included).
+    pub(crate) fn requested_workers(&self) -> usize {
+        self.requested_workers
+    }
+
+    /// Executors actually running after the budget lease (`1` means the
+    /// engine degraded to serial).
+    pub(crate) fn effective_workers(&self) -> usize {
+        self.effective_workers
+    }
+
+    /// Runs one batch of commands and returns replies in input order.
+    ///
+    /// Commands addressed to the same device execute in input (`seq`)
+    /// order on the one thread owning that device; commands to
+    /// different devices run concurrently. The batch is a host-visible
+    /// sync point: `run_batch` returns only when every command has
+    /// finished.
+    pub(crate) fn run_batch(
+        &mut self,
+        cmds: Vec<(usize, DeviceCmd)>,
+    ) -> Vec<Result<DeviceReply, SsdError>> {
+        let n = cmds.len();
+        let mut for_worker: Vec<CmdBatch> = (0..self.workers.len()).map(|_| Vec::new()).collect();
+        let mut local_cmds: CmdBatch = Vec::new();
+        for (seq, (dev, cmd)) in cmds.into_iter().enumerate() {
+            assert!(dev < self.owner.len(), "device {dev} out of range");
+            match self.owner[dev] {
+                Some(w) => for_worker[w].push((seq as u64, dev, cmd)),
+                None => local_cmds.push((seq as u64, dev, cmd)),
+            }
+        }
+        // Ship worker batches first so they execute while the calling
+        // thread works through its own share.
+        let mut active = Vec::new();
+        for (w, batch) in for_worker.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.workers[w]
+                    .tx
+                    .as_ref()
+                    .expect("worker channel open")
+                    .send(batch)
+                    .expect("array worker alive");
+                active.push(w);
+            }
+        }
+        let mut out: Vec<Option<Result<DeviceReply, SsdError>>> = (0..n).map(|_| None).collect();
+        for (seq, dev, cmd) in local_cmds {
+            let ssd = self.local.get_mut(&dev).expect("local device exists");
+            out[seq as usize] = Some(exec(ssd, &self.source, dev, cmd));
+        }
+        for w in active {
+            let replies = self.workers[w]
+                .rx
+                .recv()
+                .expect("array worker exited cleanly (panicked?)");
+            for (seq, rep) in replies {
+                out[seq as usize] = Some(rep);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every command answered exactly once"))
+            .collect()
+    }
+}
+
+/// One host-bound completion awaiting its root-link crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Completion {
+    /// When the transfer cleared its device (per-device clock time).
+    pub ready: SimTime,
+    /// Originating device.
+    pub device: usize,
+    /// Issue order within the batch (ties on `ready` and `device`).
+    pub seq: u64,
+    /// Bytes crossing the root.
+    pub host_bytes: u64,
+}
+
+/// The deterministic event merge: total order on
+/// `(completion_time, device_id, seq)`. This is the order the shared
+/// root link is charged in, and it is a pure function of simulated
+/// time — never of wall-clock scheduling.
+pub(crate) fn merge_completions(mut events: Vec<Completion>) -> Vec<Completion> {
+    events.sort_by_key(|e| (e.ready, e.device, e.seq));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_time_then_device_then_seq() {
+        let ev = |ps: u64, device: usize, seq: u64| Completion {
+            ready: SimTime::from_ps(ps),
+            device,
+            seq,
+            host_bytes: 0,
+        };
+        let merged = merge_completions(vec![
+            ev(50, 2, 9),
+            ev(10, 1, 4),
+            ev(50, 0, 7),
+            ev(50, 0, 3),
+            ev(10, 1, 2),
+        ]);
+        let key: Vec<(u64, usize, u64)> = merged
+            .iter()
+            .map(|e| (e.ready.as_ps(), e.device, e.seq))
+            .collect();
+        assert_eq!(
+            key,
+            vec![(10, 1, 2), (10, 1, 4), (50, 0, 3), (50, 0, 7), (50, 2, 9)]
+        );
+    }
+}

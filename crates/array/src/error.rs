@@ -1,0 +1,82 @@
+//! Array-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use assasin_ssd::SsdError;
+
+/// Failures surfaced by [`SsdArray`](crate::SsdArray) operations.
+#[derive(Debug)]
+pub enum ArrayError {
+    /// A device rejected or failed a command.
+    Device {
+        /// The device that failed.
+        device: usize,
+        /// The underlying device error.
+        source: SsdError,
+    },
+    /// More devices are down than the placement's redundancy covers:
+    /// the chunk is unrecoverable.
+    DataLoss {
+        /// Object whose chunk is gone.
+        object: u64,
+        /// Index of the unrecoverable data chunk.
+        chunk: usize,
+    },
+    /// The operation needs a device that is currently failed (and the
+    /// operation has no degraded path).
+    Degraded {
+        /// The failed device in the way.
+        device: usize,
+        /// What needed it.
+        what: &'static str,
+    },
+    /// No object with this id in the catalog.
+    UnknownObject(u64),
+    /// An object with this id already exists.
+    DuplicateObject(u64),
+    /// The array configuration is inconsistent.
+    BadConfig(String),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::Device { device, source } => {
+                write!(f, "device {device}: {source}")
+            }
+            ArrayError::DataLoss { object, chunk } => {
+                write!(
+                    f,
+                    "object {object} chunk {chunk} is unrecoverable: more failures than redundancy"
+                )
+            }
+            ArrayError::Degraded { device, what } => {
+                write!(f, "{what} needs failed device {device}")
+            }
+            ArrayError::UnknownObject(id) => write!(f, "no object {id} in the array catalog"),
+            ArrayError::DuplicateObject(id) => write!(f, "object {id} already stored"),
+            ArrayError::BadConfig(why) => write!(f, "bad array config: {why}"),
+        }
+    }
+}
+
+impl Error for ArrayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArrayError::Device { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ArrayError>();
+    }
+}

@@ -1,0 +1,9 @@
+//! Runs the multi-device array experiment (scaling, degraded reads,
+//! rebuild storms; DESIGN.md §15).
+
+use assasin_bench::experiments::fig_array;
+use assasin_bench::Scale;
+
+fn main() {
+    println!("{}", fig_array::run(&Scale::from_env()));
+}

@@ -4,6 +4,11 @@
 //! baseline and fails (exit 1) when any isolated component's throughput
 //! drops, or any serial experiment's wall time grows, by more than the
 //! threshold (default 20%, override with `ASSASIN_PERF_GATE_PCT`).
+//! Entry sets must match exactly in both directions: a baseline entry
+//! missing from the fresh report (deleted/renamed experiment) and a
+//! fresh entry missing from the baseline (new experiment without a
+//! baseline regeneration) are both hard failures — see
+//! [`assasin_bench::gate`].
 //!
 //! ```text
 //! perf_gate <baseline.json> [fresh.json]    # fresh defaults to BENCH_perf_smoke.json
@@ -49,18 +54,6 @@ fn load(path: &str) -> Value {
     serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_gate: bad JSON in {path}: {e}"))
 }
 
-/// `name -> metric` for an array of `{name, ...}` objects.
-fn metrics(report: &Value, section: &str, field: &str) -> Vec<(String, f64)> {
-    report[section]
-        .as_array()
-        .map(|rows| {
-            rows.iter()
-                .filter_map(|row| Some((row["name"].as_str()?.to_string(), row[field].as_f64()?)))
-                .collect()
-        })
-        .unwrap_or_default()
-}
-
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_path = args.next().unwrap_or_else(|| {
@@ -74,45 +67,15 @@ fn main() -> ExitCode {
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
-    let mut failures = Vec::new();
-
-    // Component throughput must not drop by more than the threshold.
-    let fresh_mops = metrics(&fresh, "components", "mops");
-    for (name, base) in metrics(&baseline, "components", "mops") {
-        let Some(&(_, now)) = fresh_mops.iter().find(|(n, _)| *n == name) else {
-            failures.push(format!("component {name}: missing from fresh report"));
-            continue;
-        };
-        let change = (now - base) / base * 100.0;
-        println!("component {name:>14}: {base:9.1} -> {now:9.1} Mops ({change:+.1}%)");
-        if change < -pct {
-            failures.push(format!(
-                "component {name}: {base:.1} -> {now:.1} Mops ({change:+.1}%, limit -{pct}%)"
-            ));
-        }
+    let outcome = assasin_bench::gate::compare(&baseline, &fresh, pct);
+    for line in &outcome.log {
+        println!("{line}");
     }
-
-    // Serial experiment wall time must not grow by more than the threshold.
-    let fresh_wall = metrics(&fresh, "serial", "wall_secs");
-    for (name, base) in metrics(&baseline, "serial", "wall_secs") {
-        let Some(&(_, now)) = fresh_wall.iter().find(|(n, _)| *n == name) else {
-            failures.push(format!("experiment {name}: missing from fresh report"));
-            continue;
-        };
-        let change = (now - base) / base * 100.0;
-        println!("experiment {name:>13}: {base:9.3} -> {now:9.3} s    ({change:+.1}%)");
-        if change > pct {
-            failures.push(format!(
-                "experiment {name}: {base:.3}s -> {now:.3}s ({change:+.1}%, limit +{pct}%)"
-            ));
-        }
-    }
-
-    if failures.is_empty() {
+    if outcome.failures.is_empty() {
         println!("perf_gate: OK (threshold {pct}%)");
         ExitCode::SUCCESS
     } else {
-        for f in &failures {
+        for f in &outcome.failures {
             eprintln!("perf_gate FAIL: {f}");
         }
         ExitCode::FAILURE

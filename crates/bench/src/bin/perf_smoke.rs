@@ -18,11 +18,17 @@
 //! per-component section times the simulator's hot paths (interpreter,
 //! memory hierarchy, flash, streambuffer) in isolation — best of three
 //! reps, so one noisy rep on a shared box does not read as a regression —
-//! so a slowdown can be attributed before reaching for a profiler. Rerun after harness or
+//! so a slowdown can be attributed before reaching for a profiler. An
+//! array pass runs the same 8-device workload serially and with
+//! per-device worker threads, asserts the two simulated reports are
+//! byte-identical (the DESIGN.md §15 determinism contract), and records
+//! requested vs. granted workers, the wall-clock speedup, and the
+//! merge/root-stall/rebuild counters. Rerun after harness or
 //! simulator changes.
 
+use assasin_array::{array_counters, ArrayConfig, ArrayExec, ArrayPlacement, SsdArray};
 use assasin_bench::experiments::{fig13, fig14, fig16, fig_reliability};
-use assasin_bench::Scale;
+use assasin_bench::{bundles, Scale};
 use assasin_core::{Core, CoreConfig, SyntheticEnv};
 use assasin_flash::{FlashArray, FlashGeometry, FlashTiming, PhysPageAddr};
 use assasin_kernels::{scan, AccessStyle};
@@ -82,6 +88,48 @@ struct ComponentSample {
     mops: f64,
 }
 
+/// One device lane of the array pass.
+#[derive(Debug, Serialize)]
+struct ArrayDeviceSample {
+    /// Device id.
+    device: usize,
+    /// Simulated scan-offload throughput of this lane, GB/s.
+    simulated_gbps: f64,
+}
+
+/// The multi-device array pass: the same workload executed serially and
+/// with per-device worker threads, reports compared byte-for-byte.
+#[derive(Debug, Serialize)]
+struct ArrayPass {
+    /// Devices in the array.
+    devices: usize,
+    /// Worker threads the threaded run asked for.
+    requested_workers: usize,
+    /// Executors actually granted by the thread budget (1 = the
+    /// threaded engine degraded to serial on this box).
+    effective_workers: usize,
+    /// Wall-clock of the serial run, seconds.
+    serial_wall_secs: f64,
+    /// Wall-clock of the threaded run, seconds.
+    threaded_wall_secs: f64,
+    /// Serial / threaded wall-clock. Meaningless (~1.0) when
+    /// `effective_workers` is 1; read that field first.
+    wall_speedup: f64,
+    /// Whether the serial and threaded runs produced byte-identical
+    /// simulated reports (the determinism contract; always true).
+    reports_identical: bool,
+    /// Host-bound completions through the deterministic event merge
+    /// (one run's worth).
+    merged_events: u64,
+    /// Simulated time queued on the shared root link (one run), seconds.
+    link_stall_secs: f64,
+    /// Bytes written to the replacement device by the rebuild storm
+    /// (one run).
+    rebuild_bytes: u64,
+    /// Per-device simulated offload throughput (identical across runs).
+    per_device: Vec<ArrayDeviceSample>,
+}
+
 #[derive(Debug, Serialize)]
 struct PerfSmokeReport {
     /// Scale used (fixed test scale; not affected by `ASSASIN_SCALE`).
@@ -116,6 +164,8 @@ struct PerfSmokeReport {
     lane_speedup: f64,
     /// Isolated hot-path component timings (single-threaded).
     components: Vec<ComponentSample>,
+    /// Multi-device array pass (serial vs. threaded per-device workers).
+    array: ArrayPass,
 }
 
 fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
@@ -336,6 +386,109 @@ fn run_components() -> Vec<ComponentSample> {
     out
 }
 
+/// Devices in the array pass (and workers the threaded run requests).
+const ARRAY_DEVICES: usize = 8;
+
+/// One array-pass run: a striped store/read/scan-offload over
+/// `ARRAY_DEVICES` devices plus a RAID6 rebuild storm. Returns the
+/// transcript of every simulated observable (for the byte-identity
+/// check) and the per-device offload throughput.
+fn array_workload(
+    scale: &Scale,
+    exec: ArrayExec,
+) -> (String, Vec<ArrayDeviceSample>, usize, usize) {
+    let device = assasin_ssd::SsdConfig::engine_config(assasin_core::EngineKind::AssasinSb);
+    let data: Vec<u8> = (0..scale.scalability_bytes)
+        .map(|i| {
+            ((i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(scale.seed)
+                >> 8) as u8
+        })
+        .collect();
+
+    let mut transcript = String::new();
+    let mut a = SsdArray::new(
+        ArrayConfig::new(ARRAY_DEVICES, ArrayPlacement::Striped, device).with_exec(exec),
+    )
+    .expect("striped array");
+    let (requested, effective) = (a.requested_workers(), a.effective_workers());
+    transcript += &format!("store {:?}\n", a.store_object(1, &data).expect("store"));
+    let read = a.read_object(1).expect("read");
+    transcript += &format!(
+        "read {} {:?} {:?}\n",
+        read.data.len(),
+        read.elapsed,
+        read.link
+    );
+    let scomp = a.scomp_object(1, bundles::scan_bundle).expect("scomp");
+    transcript += &format!("scomp {scomp:?}\n");
+    let per_device = scomp
+        .per_device
+        .iter()
+        .map(|l| ArrayDeviceSample {
+            device: l.device,
+            simulated_gbps: l.simulated_gbps,
+        })
+        .collect();
+    transcript += &format!("stats {:?}\n", a.stats());
+
+    let mut r6 = SsdArray::new(ArrayConfig::new(5, ArrayPlacement::Raid6, device).with_exec(exec))
+        .expect("raid6 array");
+    for i in 0..4u64 {
+        let part: Vec<u8> = (0..scale.scalability_bytes / 4)
+            .map(|b| ((b as u64).wrapping_mul(0x9E37_79B9).wrapping_add(i) >> 8) as u8)
+            .collect();
+        r6.store_object(i + 1, &part).expect("store quarter");
+    }
+    r6.fail_device(1);
+    transcript += &format!(
+        "degraded {:?}\n",
+        r6.read_object(1).expect("degraded").elapsed
+    );
+    transcript += &format!("rebuild {:?}\n", r6.rebuild_device(1).expect("rebuild"));
+    transcript += &format!("stats {:?}\n", r6.stats());
+    (transcript, per_device, requested, effective)
+}
+
+/// Runs the array workload serially and threaded, compares the reports
+/// byte-for-byte, and snapshots the array counters around one run.
+fn run_array_pass(scale: &Scale) -> ArrayPass {
+    let c0 = array_counters();
+    let t = Instant::now();
+    let (serial_report, per_device, _, _) = array_workload(scale, ArrayExec::Serial);
+    let serial_wall_secs = t.elapsed().as_secs_f64();
+    let c1 = array_counters();
+
+    let t = Instant::now();
+    let (threaded_report, _, requested_workers, effective_workers) = array_workload(
+        scale,
+        ArrayExec::Threaded {
+            workers: ARRAY_DEVICES,
+        },
+    );
+    let threaded_wall_secs = t.elapsed().as_secs_f64();
+
+    let reports_identical = serial_report == threaded_report;
+    assert!(
+        reports_identical,
+        "array determinism contract violated: threaded report differs from serial"
+    );
+    ArrayPass {
+        devices: ARRAY_DEVICES,
+        requested_workers,
+        effective_workers,
+        serial_wall_secs,
+        threaded_wall_secs,
+        wall_speedup: serial_wall_secs / threaded_wall_secs.max(1e-9),
+        reports_identical,
+        merged_events: c1.1 - c0.1,
+        link_stall_secs: (c1.2 - c0.2) as f64 / 1e12,
+        rebuild_bytes: c1.3 - c0.3,
+        per_device,
+    }
+}
+
 fn main() {
     let scale = Scale::test_scale();
     let parallel_threads = assasin_parallel::current_max_threads();
@@ -372,6 +525,7 @@ fn main() {
     assasin_ssd::set_lane_cap(1);
 
     let components = run_components();
+    let array = run_array_pass(&scale);
 
     let report = PerfSmokeReport {
         scale: "test",
@@ -386,6 +540,7 @@ fn main() {
         speedup: serial_total_secs / parallel_total_secs.max(1e-9),
         lane_speedup: serial_total_secs / lanes_total_secs.max(1e-9),
         components,
+        array,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_perf_smoke.json", &json).expect("write BENCH_perf_smoke.json");
@@ -415,4 +570,20 @@ fn main() {
             c.name, c.ops, c.wall_secs, c.mops
         );
     }
+    let a = &report.array;
+    eprintln!(
+        "perf_smoke array: {} devices, serial {:.2}s vs threaded {:.2}s \
+         ({} of {} workers granted) -> {:.2}x, reports identical: {}, \
+         {} merged events, {:.3}ms root stall, {} rebuild bytes",
+        a.devices,
+        a.serial_wall_secs,
+        a.threaded_wall_secs,
+        a.effective_workers,
+        a.requested_workers,
+        a.wall_speedup,
+        a.reports_identical,
+        a.merged_events,
+        a.link_stall_secs * 1e3,
+        a.rebuild_bytes
+    );
 }

@@ -83,12 +83,16 @@ pub fn run_queries(scale: &Scale, max_q: u32) -> Fig15Report {
     let per_mode: Vec<Vec<f64>> = sweep::run_points(&modes, |mode| {
         let mut provider: Box<dyn ScanProvider> = match mode {
             Mode::CpuOnly => Box::new(CpuOnlyProvider::from_tables(&loaded)),
-            Mode::Baseline => {
-                Box::new(SsdScanProvider::from_tables(EngineKind::Baseline, false, &loaded))
-            }
-            Mode::Assasin => {
-                Box::new(SsdScanProvider::from_tables(EngineKind::AssasinSb, false, &loaded))
-            }
+            Mode::Baseline => Box::new(SsdScanProvider::from_tables(
+                EngineKind::Baseline,
+                false,
+                &loaded,
+            )),
+            Mode::Assasin => Box::new(SsdScanProvider::from_tables(
+                EngineKind::AssasinSb,
+                false,
+                &loaded,
+            )),
         };
         qs.iter()
             .map(|&q| run_mode(provider.as_mut(), q).as_secs_f64() * 1e3)

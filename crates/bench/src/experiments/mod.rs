@@ -10,6 +10,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig21;
 pub mod fig22;
+pub mod fig_array;
 pub mod fig_reliability;
 pub mod table02;
 pub mod table04;

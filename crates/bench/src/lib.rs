@@ -21,9 +21,11 @@
 //! | `fig21_adjusted` | Figure 21 (timing-adjusted throughput) |
 //! | `fig22_efficiency` | Figure 22 + Table V (power/area efficiency) |
 //! | `fig_reliability` | Reliability sweep (NAND fault injection, DESIGN.md §12) |
+//! | `fig_array` | Multi-device array scaling, degraded reads, rebuild storms (DESIGN.md §15) |
 
 pub mod bundles;
 pub mod experiments;
+pub mod gate;
 pub mod provider;
 pub mod report;
 pub mod runner;

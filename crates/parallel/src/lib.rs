@@ -28,13 +28,40 @@ thread_local! {
     static MAX_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
+/// Parses a `RAYON_NUM_THREADS`-style value: a positive integer thread
+/// count. Split out (and public) so the rejection rules are unit-testable
+/// without touching process environment.
+///
+/// # Errors
+///
+/// Returns a description of the problem for anything that is not a
+/// positive integer — `"8 threads"`, `"0"`, `""`, `"-2"` all fail. A set
+/// variable that cannot mean what the operator intended must not silently
+/// fall back to `available_parallelism()`.
+pub fn parse_thread_env(value: &str) -> Result<usize, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Err("empty value (unset the variable to use the default)".into());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("not a thread count: {e}")),
+    }
+}
+
 fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    match std::env::var("RAYON_NUM_THREADS") {
+        Err(std::env::VarError::NotPresent) => {}
+        Err(e) => panic!("RAYON_NUM_THREADS is not valid unicode: {e}"),
+        Ok(v) => match parse_thread_env(&v) {
+            Ok(n) => return n,
+            // A set-but-malformed knob is a hard error, mirroring
+            // `perf_gate`'s handling of ASSASIN_PERF_GATE_PCT: a CI job
+            // that typos `RAYON_NUM_THREADS="8 threads"` must not quietly
+            // run at whatever parallelism the box happens to have.
+            Err(why) => panic!("invalid RAYON_NUM_THREADS {v:?}: {why}"),
+        },
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -78,6 +105,42 @@ fn take_budget(want: usize) -> usize {
             Ok(_) => return take,
             Err(now) => cur = now,
         }
+    }
+}
+
+/// A claim on extra worker threads from the process-wide budget shared
+/// with [`par_map`]. Long-lived executors (the `assasin-array` device
+/// workers) hold one of these for their lifetime, so the threads they pin
+/// are unavailable to nested `par_map` calls — the same degrade-toward-
+/// serial accounting `par_map` applies to itself. The claim is returned
+/// to the budget on drop.
+#[derive(Debug)]
+pub struct ThreadLease {
+    claimed: usize,
+}
+
+impl ThreadLease {
+    /// How many extra threads this lease actually holds (`<= want`; 0 when
+    /// the budget was exhausted and the caller should run inline).
+    pub fn claimed(&self) -> usize {
+        self.claimed
+    }
+}
+
+impl Drop for ThreadLease {
+    fn drop(&mut self) {
+        if self.claimed > 0 {
+            budget().fetch_add(self.claimed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Claims up to `want` extra threads from the global budget for a
+/// long-lived executor. Unlike [`par_map`]'s internal claims (returned
+/// when the map finishes), the lease persists until dropped.
+pub fn claim_threads(want: usize) -> ThreadLease {
+    ThreadLease {
+        claimed: take_budget(want),
     }
 }
 
@@ -184,6 +247,39 @@ mod tests {
         let none: Vec<u8> = vec![];
         assert!(par_map(&none, |&x| x).is_empty());
         assert_eq!(par_map(&[41u8], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_env_parse_accepts_positive_integers() {
+        assert_eq!(parse_thread_env("1"), Ok(1));
+        assert_eq!(parse_thread_env("8"), Ok(8));
+        assert_eq!(parse_thread_env("  16  "), Ok(16));
+    }
+
+    #[test]
+    fn thread_env_parse_rejects_malformed_values() {
+        for bad in ["", "   ", "0", "8 threads", "-2", "2.5", "eight", "1e3"] {
+            assert!(
+                parse_thread_env(bad).is_err(),
+                "{bad:?} must be rejected, not silently defaulted"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_lease_respects_want_and_survives_drop_cycles() {
+        // The budget is process-global and other tests exercise it
+        // concurrently, so assert per-lease invariants only: a lease never
+        // exceeds its ask, a zero ask claims nothing, and repeated
+        // claim/drop cycles do not leak (a leak would drain the budget to
+        // zero and pin every later claim at 0 — with leases this size the
+        // budget would be negative long before the loop ends if drops
+        // failed to give threads back).
+        assert_eq!(claim_threads(0).claimed(), 0);
+        for _ in 0..10_000 {
+            let lease = claim_threads(2);
+            assert!(lease.claimed() <= 2);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 mod bandwidth;
 mod clock;
+mod link;
 mod time;
 mod timeline;
 
@@ -41,5 +42,6 @@ pub mod stats;
 
 pub use bandwidth::Bandwidth;
 pub use clock::Clock;
+pub use link::{HostLink, LaneStats};
 pub use time::{SimDur, SimTime};
 pub use timeline::{Grant, Timeline};

@@ -39,9 +39,16 @@ impl fmt::Display for SnapError {
                 write!(f, "not a snapshot (magic {found:#010x})")
             }
             SnapError::BadVersion { found, expected } => {
-                write!(f, "snapshot version {found} unsupported (expected {expected})")
+                write!(
+                    f,
+                    "snapshot version {found} unsupported (expected {expected})"
+                )
             }
-            SnapError::BadTag { found, expected, at } => {
+            SnapError::BadTag {
+                found,
+                expected,
+                at,
+            } => {
                 write!(
                     f,
                     "section tag {found:#04x} at byte {at} where {expected:#04x} expected"
