@@ -10,7 +10,9 @@ use assasin_ssd::{KernelBundle, ScompRequest, SsdImage};
 
 use crate::config::ArrayConfig;
 use crate::counters;
-use crate::engine::{merge_completions, Completion, DeviceCmd, DeviceReply, DeviceSource, Engine};
+use crate::engine::{
+    merge_completions, Completion, DeviceCmd, DeviceReply, DeviceSource, Engine, ExecError,
+};
 use crate::error::ArrayError;
 use crate::placement::{ArrayPlacement, ChunkLoc, StoredObject, StripeLoc};
 use crate::recover;
@@ -345,7 +347,12 @@ impl SsdArray {
         replies
             .into_iter()
             .zip(devices)
-            .map(|(r, device)| r.map_err(|source| ArrayError::Device { device, source }))
+            .map(|(r, device)| {
+                r.map_err(|e| match e {
+                    ExecError::Device(source) => ArrayError::Device { device, source },
+                    ExecError::Worker(cause) => ArrayError::WorkerFailed { device, cause },
+                })
+            })
             .collect()
     }
 

@@ -18,6 +18,7 @@
 //! fixes the order in which the shared root link is charged.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,6 +60,12 @@ pub(crate) enum DeviceCmd {
     Scomp { req: Box<ScompRequest> },
     /// Swap in a factory-blank replacement device (rebuild target).
     Replace,
+    /// Test hook: panic while executing. With `caught: false` the panic
+    /// fires *outside* the per-command catch on a worker thread, killing
+    /// it, so the coordinator's channel-disconnect recovery is
+    /// exercisable.
+    #[cfg(test)]
+    Panic { caught: bool },
 }
 
 pub(crate) enum DeviceReply {
@@ -95,23 +102,110 @@ fn exec(
             *ssd = Ssd::new(source.cfgs[device]);
             Ok(DeviceReply::Replaced)
         }
+        #[cfg(test)]
+        DeviceCmd::Panic { .. } => panic!("injected device panic"),
     }
 }
 
+/// Why one command failed: a typed device error, or an executor failure
+/// (a panic captured from the command, or a device taken offline by an
+/// earlier one). The array layer maps these onto `ArrayError::Device`
+/// and `ArrayError::WorkerFailed` respectively.
+pub(crate) enum ExecError {
+    Device(SsdError),
+    Worker(String),
+}
+
+/// Renders a captured panic payload for the typed error surface.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one command against the executor's owned devices, catching
+/// panics. A panicking command poisons its device (the `Ssd`'s internal
+/// invariants may no longer hold), so the device is dropped from the
+/// owned set; later commands against it fail with a typed error — except
+/// `Replace`, which installs a factory-blank drive and brings the slot
+/// back, the same degrade-then-rebuild path as a media failure.
+fn run_cmd(
+    owned: &mut HashMap<usize, Ssd>,
+    source: &DeviceSource,
+    dev: usize,
+    cmd: DeviceCmd,
+) -> Result<DeviceReply, ExecError> {
+    let Some(ssd) = owned.get_mut(&dev) else {
+        if matches!(cmd, DeviceCmd::Replace) {
+            owned.insert(dev, Ssd::new(source.cfgs[dev]));
+            return Ok(DeviceReply::Replaced);
+        }
+        return Err(ExecError::Worker(format!(
+            "device {dev} is offline after an earlier panic (Replace brings it back)"
+        )));
+    };
+    match catch_unwind(AssertUnwindSafe(|| exec(ssd, source, dev, cmd))) {
+        Ok(reply) => reply.map_err(ExecError::Device),
+        Err(payload) => {
+            owned.remove(&dev);
+            Err(ExecError::Worker(panic_message(payload)))
+        }
+    }
+}
+
+/// Test hook: lets `DeviceCmd::Panic { caught: false }` blow up a worker
+/// thread *outside* the per-command catch, so the coordinator's
+/// disconnect recovery has something real to recover from.
+#[cfg(test)]
+fn worker_crash_hook(cmd: &DeviceCmd) {
+    if let DeviceCmd::Panic { caught: false } = cmd {
+        panic!("injected worker crash");
+    }
+}
+#[cfg(not(test))]
+fn worker_crash_hook(_cmd: &DeviceCmd) {}
+
 type CmdBatch = Vec<(u64, usize, DeviceCmd)>;
-type ReplyBatch = Vec<(u64, Result<DeviceReply, SsdError>)>;
+type ReplyBatch = Vec<(u64, Result<DeviceReply, ExecError>)>;
 
 struct Worker {
     tx: Option<Sender<CmdBatch>>,
     rx: Receiver<ReplyBatch>,
     handle: Option<JoinHandle<()>>,
+    /// Rendered cause of a dead worker, filled by `failure_cause` the
+    /// first time a channel to it disconnects.
+    fault: Option<String>,
+}
+
+impl Worker {
+    /// Joins a worker whose channel disconnected and renders what killed
+    /// it (the panic payload, normally). Idempotent: the cause is cached
+    /// so every affected batch reports the same failure.
+    fn failure_cause(&mut self) -> String {
+        if self.fault.is_none() {
+            self.tx.take();
+            let cause = match self.handle.take() {
+                Some(handle) => match handle.join() {
+                    Err(payload) => panic_message(payload),
+                    Ok(()) => "worker exited without replying".to_string(),
+                },
+                None => "worker already joined".to_string(),
+            };
+            self.fault = Some(cause);
+        }
+        self.fault.clone().expect("cause cached above")
+    }
 }
 
 impl Drop for Worker {
     fn drop(&mut self) {
         // Closing the command channel ends the worker loop; the join
-        // result is irrelevant on teardown (a panic already surfaced at
-        // the recv() in run_batch).
+        // result is irrelevant on teardown (a panic already surfaced as
+        // a typed error at the disconnect in run_batch).
         self.tx.take();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -131,10 +225,8 @@ fn spawn_worker(devices: Vec<usize>, source: DeviceSource) -> Worker {
                 let replies: ReplyBatch = batch
                     .into_iter()
                     .map(|(seq, dev, cmd)| {
-                        let ssd = owned
-                            .get_mut(&dev)
-                            .expect("command routed to owning worker");
-                        (seq, exec(ssd, &source, dev, cmd))
+                        worker_crash_hook(&cmd);
+                        (seq, run_cmd(&mut owned, &source, dev, cmd))
                     })
                     .collect();
                 if tx_rep.send(replies).is_err() {
@@ -147,6 +239,7 @@ fn spawn_worker(devices: Vec<usize>, source: DeviceSource) -> Worker {
         tx: Some(tx_cmd),
         rx: rx_rep,
         handle: Some(handle),
+        fault: None,
     }
 }
 
@@ -223,10 +316,17 @@ impl Engine {
     /// different devices run concurrently. The batch is a host-visible
     /// sync point: `run_batch` returns only when every command has
     /// finished.
+    ///
+    /// A panicking command never aborts the coordinator: panics inside a
+    /// command are caught on the owning executor and surface as
+    /// `ExecError::Worker` for that command; a worker thread dying
+    /// outright (its channel disconnects) is joined, its panic payload
+    /// captured, and every command routed to it this batch fails with
+    /// that cause.
     pub(crate) fn run_batch(
         &mut self,
         cmds: Vec<(usize, DeviceCmd)>,
-    ) -> Vec<Result<DeviceReply, SsdError>> {
+    ) -> Vec<Result<DeviceReply, ExecError>> {
         let n = cmds.len();
         let mut for_worker: Vec<CmdBatch> = (0..self.workers.len()).map(|_| Vec::new()).collect();
         let mut local_cmds: CmdBatch = Vec::new();
@@ -237,32 +337,46 @@ impl Engine {
                 None => local_cmds.push((seq as u64, dev, cmd)),
             }
         }
+        let mut out: Vec<Option<Result<DeviceReply, ExecError>>> = (0..n).map(|_| None).collect();
         // Ship worker batches first so they execute while the calling
-        // thread works through its own share.
-        let mut active = Vec::new();
+        // thread works through its own share. A send can only fail if
+        // the worker already died; fail its commands with the captured
+        // cause instead of propagating the second-hand panic.
+        let mut active: Vec<(usize, Vec<u64>)> = Vec::new();
         for (w, batch) in for_worker.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.workers[w]
-                    .tx
-                    .as_ref()
-                    .expect("worker channel open")
-                    .send(batch)
-                    .expect("array worker alive");
-                active.push(w);
+            if batch.is_empty() {
+                continue;
+            }
+            let seqs: Vec<u64> = batch.iter().map(|(seq, _, _)| *seq).collect();
+            let sent = match self.workers[w].tx.as_ref() {
+                Some(tx) => tx.send(batch).is_ok(),
+                None => false,
+            };
+            if sent {
+                active.push((w, seqs));
+            } else {
+                let cause = self.workers[w].failure_cause();
+                for seq in seqs {
+                    out[seq as usize] = Some(Err(ExecError::Worker(cause.clone())));
+                }
             }
         }
-        let mut out: Vec<Option<Result<DeviceReply, SsdError>>> = (0..n).map(|_| None).collect();
         for (seq, dev, cmd) in local_cmds {
-            let ssd = self.local.get_mut(&dev).expect("local device exists");
-            out[seq as usize] = Some(exec(ssd, &self.source, dev, cmd));
+            out[seq as usize] = Some(run_cmd(&mut self.local, &self.source, dev, cmd));
         }
-        for w in active {
-            let replies = self.workers[w]
-                .rx
-                .recv()
-                .expect("array worker exited cleanly (panicked?)");
-            for (seq, rep) in replies {
-                out[seq as usize] = Some(rep);
+        for (w, seqs) in active {
+            match self.workers[w].rx.recv() {
+                Ok(replies) => {
+                    for (seq, rep) in replies {
+                        out[seq as usize] = Some(rep);
+                    }
+                }
+                Err(_) => {
+                    let cause = self.workers[w].failure_cause();
+                    for seq in seqs {
+                        out[seq as usize] = Some(Err(ExecError::Worker(cause.clone())));
+                    }
+                }
             }
         }
         out.into_iter()
@@ -296,6 +410,84 @@ pub(crate) fn merge_completions(mut events: Vec<Completion>) -> Vec<Completion> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use assasin_core::EngineKind;
+    use assasin_parallel::with_max_threads;
+
+    fn source(devices: usize) -> DeviceSource {
+        DeviceSource {
+            cfgs: Arc::new(vec![
+                SsdConfig::small_for_tests(EngineKind::AssasinSb);
+                devices
+            ]),
+            image: None,
+        }
+    }
+
+    fn store_cmd() -> DeviceCmd {
+        DeviceCmd::Store {
+            first_lpa: 0,
+            data: vec![42u8; 4096].into(),
+        }
+    }
+
+    fn expect_worker_err(reply: &Result<DeviceReply, ExecError>, needle: &str) {
+        match reply {
+            Err(ExecError::Worker(cause)) => {
+                assert!(cause.contains(needle), "cause {cause:?} lacks {needle:?}")
+            }
+            Err(ExecError::Device(e)) => panic!("expected worker failure, got device error {e}"),
+            Ok(_) => panic!("expected worker failure, got success"),
+        }
+    }
+
+    // Regression: a panicking command used to kill the coordinator via
+    // `.expect("array worker alive")` / the recv `.expect(...)`. Both
+    // executor shapes must survive with a typed error carrying the
+    // payload, keep sibling devices usable, and allow `Replace` to bring
+    // the poisoned slot back.
+    #[test]
+    fn caught_panic_poisons_device_but_engine_survives() {
+        let mut engine = Engine::new(2, source(2), ArrayExec::Serial);
+        let replies = engine.run_batch(vec![
+            (0, DeviceCmd::Panic { caught: true }),
+            (1, store_cmd()),
+        ]);
+        expect_worker_err(&replies[0], "injected device panic");
+        assert!(matches!(replies[1], Ok(DeviceReply::Store { .. })));
+        // The poisoned device stays offline with a typed error...
+        let replies = engine.run_batch(vec![(0, store_cmd())]);
+        expect_worker_err(&replies[0], "offline after an earlier panic");
+        // ...until a replacement drive brings the slot back.
+        let replies = engine.run_batch(vec![(0, DeviceCmd::Replace), (0, store_cmd())]);
+        assert!(matches!(replies[0], Ok(DeviceReply::Replaced)));
+        assert!(matches!(replies[1], Ok(DeviceReply::Store { .. })));
+    }
+
+    #[test]
+    fn dead_worker_thread_is_joined_and_reported_not_repanicked() {
+        with_max_threads(4, || {
+            let mut engine = Engine::new(2, source(2), ArrayExec::Threaded { workers: 2 });
+            if engine.effective_workers() < 2 {
+                // Thread budget exhausted on this box; the serial-shape
+                // test above covers the catch path.
+                return;
+            }
+            // Device 1 lives on the worker; a panic outside the
+            // per-command catch kills the whole thread.
+            let replies = engine.run_batch(vec![
+                (1, DeviceCmd::Panic { caught: false }),
+                (0, store_cmd()),
+            ]);
+            expect_worker_err(&replies[0], "injected worker crash");
+            assert!(matches!(replies[1], Ok(DeviceReply::Store { .. })));
+            // Later batches to the dead worker fail with the same cached
+            // cause (send-side disconnect), and the local device still
+            // works.
+            let replies = engine.run_batch(vec![(1, store_cmd()), (0, DeviceCmd::Replace)]);
+            expect_worker_err(&replies[0], "injected worker crash");
+            assert!(matches!(replies[1], Ok(DeviceReply::Replaced)));
+        });
+    }
 
     #[test]
     fn merge_orders_by_time_then_device_then_seq() {

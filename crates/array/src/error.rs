@@ -31,6 +31,16 @@ pub enum ArrayError {
         /// What needed it.
         what: &'static str,
     },
+    /// A device executor failed outright — a panic while running a
+    /// command (payload captured in `cause`), or a command routed to a
+    /// device an earlier panic took offline. The coordinator survives;
+    /// the device slot can be brought back with a replacement drive.
+    WorkerFailed {
+        /// The device whose executor failed.
+        device: usize,
+        /// The captured panic payload (or offline diagnosis).
+        cause: String,
+    },
     /// No object with this id in the catalog.
     UnknownObject(u64),
     /// An object with this id already exists.
@@ -53,6 +63,9 @@ impl fmt::Display for ArrayError {
             }
             ArrayError::Degraded { device, what } => {
                 write!(f, "{what} needs failed device {device}")
+            }
+            ArrayError::WorkerFailed { device, cause } => {
+                write!(f, "device {device} worker failed: {cause}")
             }
             ArrayError::UnknownObject(id) => write!(f, "no object {id} in the array catalog"),
             ArrayError::DuplicateObject(id) => write!(f, "object {id} already stored"),

@@ -131,13 +131,17 @@ fn main() {
             "fig_array",
             Box::new(move || vec![render("fig_array", &fig_array::run(&scale))]),
         ),
+        (
+            "fig_serving",
+            Box::new(move || vec![render("fig_serving", &fig_serving::run(&scale))]),
+        ),
     ];
     let tasks: Vec<Task> = tasks
         .into_iter()
         .filter(|(name, _)| filters.is_empty() || filters.iter().any(|f| name.contains(f.trim())))
         .collect();
     if tasks.is_empty() {
-        eprintln!("no experiments match the filter; names are table02, table04, fig05, fig13, fig14, fig15, fig16, fig19, fig20, fig21+fig22, table05, ablations, reliability, fig_array");
+        eprintln!("no experiments match the filter; names are table02, table04, fig05, fig13, fig14, fig15, fig16, fig19, fig20, fig21+fig22, table05, ablations, reliability, fig_array, fig_serving");
         std::process::exit(2);
     }
     let produced = sweep::run_points(&tasks, |(name, task)| {

@@ -1,0 +1,9 @@
+//! Runs the multi-tenant serving experiment (tail latency, admission
+//! control, weighted fairness; DESIGN.md §16).
+
+use assasin_bench::experiments::fig_serving;
+use assasin_bench::Scale;
+
+fn main() {
+    println!("{}", fig_serving::run(&Scale::from_env()));
+}

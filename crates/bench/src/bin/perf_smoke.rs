@@ -23,11 +23,16 @@
 //! per-device worker threads, asserts the two simulated reports are
 //! byte-identical (the DESIGN.md §15 determinism contract), and records
 //! requested vs. granted workers, the wall-clock speedup, and the
-//! merge/root-stall/rebuild counters. Rerun after harness or
+//! merge/root-stall/rebuild counters. A serving pass runs the
+//! multi-tenant front-end experiment once, snapshots the process-wide
+//! serving counters (submissions/admitted/rejected/completed plus
+//! memoization hits) around it, and records the per-tenant SLO rows —
+//! completions, rejections, SLO violations, p50/p99 — of the most
+//! saturated load point (DESIGN.md §16). Rerun after harness or
 //! simulator changes.
 
 use assasin_array::{array_counters, ArrayConfig, ArrayExec, ArrayPlacement, SsdArray};
-use assasin_bench::experiments::{fig13, fig14, fig16, fig_reliability};
+use assasin_bench::experiments::{fig13, fig14, fig16, fig_reliability, fig_serving};
 use assasin_bench::{bundles, Scale};
 use assasin_core::{Core, CoreConfig, SyntheticEnv};
 use assasin_flash::{FlashArray, FlashGeometry, FlashTiming, PhysPageAddr};
@@ -35,6 +40,7 @@ use assasin_kernels::{scan, AccessStyle};
 use assasin_mem::{
     AccessKind, Dram, HierarchyConfig, MemHierarchy, ReadOutcome, StreamBuffer, StreamBufferConfig,
 };
+use assasin_serve::{serve_counters, TenantReport};
 use assasin_sim::{SimDur, SimTime};
 use bytes::Bytes;
 use serde::Serialize;
@@ -130,6 +136,34 @@ struct ArrayPass {
     per_device: Vec<ArrayDeviceSample>,
 }
 
+/// The multi-tenant serving pass: one full `fig_serving` run with the
+/// process-wide serving counters snapshotted around it, plus the
+/// per-tenant SLO rows of the most saturated load point (DESIGN.md §16).
+#[derive(Debug, Serialize)]
+struct ServingPass {
+    /// Wall-clock seconds for the run.
+    wall_secs: f64,
+    /// Requests offered across every serving run of the experiment.
+    submissions: u64,
+    /// Requests past admission control.
+    admitted: u64,
+    /// Requests turned away with a typed `Rejected` response.
+    rejected: u64,
+    /// Requests served to completion.
+    completed: u64,
+    /// Workloads the backing device actually executed (memoization makes
+    /// this far smaller than `completed`).
+    executions: u64,
+    /// Completions served from a memoized service profile.
+    memo_hits: u64,
+    /// Offered-load multiple of the saturated point the tenant rows
+    /// below come from (the last, heaviest point of the load curve).
+    saturated_offered_x: f64,
+    /// Per-tenant SLO accounting at that point: submissions, rejections,
+    /// SLO violations, p50/p99/max latency.
+    tenants: Vec<TenantReport>,
+}
+
 #[derive(Debug, Serialize)]
 struct PerfSmokeReport {
     /// Scale used (fixed test scale; not affected by `ASSASIN_SCALE`).
@@ -166,6 +200,8 @@ struct PerfSmokeReport {
     components: Vec<ComponentSample>,
     /// Multi-device array pass (serial vs. threaded per-device workers).
     array: ArrayPass,
+    /// Multi-tenant serving pass (admission, fairness, SLO accounting).
+    serving: ServingPass,
 }
 
 fn sb_gbps(entries: &[fig13::Entry]) -> f64 {
@@ -269,6 +305,18 @@ fn run_suite(scale: &Scale) -> Vec<ExperimentSample> {
         "reliability",
         t.elapsed().as_secs_f64(),
         rel.points.last().map_or(0.0, |p| p.gbps),
+        c,
+    ));
+    let t = Instant::now();
+    let (srv, c) = with_counters(|| fig_serving::run(scale));
+    samples.push(sample(
+        "fig_serving",
+        t.elapsed().as_secs_f64(),
+        // Aggregate admitted throughput at the heaviest load point, where
+        // the device is saturated and the number is stable run to run.
+        srv.load_curve.last().map_or(0.0, |p| {
+            p.tenants.iter().filter_map(|t| t.achieved_gbps).sum()
+        }),
         c,
     ));
     samples
@@ -489,6 +537,29 @@ fn run_array_pass(scale: &Scale) -> ArrayPass {
     }
 }
 
+/// Runs the serving experiment once with the process-wide serving
+/// counters snapshotted around it and keeps the per-tenant SLO rows of
+/// the heaviest load point.
+fn run_serving_pass(scale: &Scale) -> ServingPass {
+    let c0 = serve_counters();
+    let t = Instant::now();
+    let r = fig_serving::run(scale);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let c1 = serve_counters();
+    let saturated = r.load_curve.last().expect("load curve is non-empty");
+    ServingPass {
+        wall_secs,
+        submissions: c1.0 - c0.0,
+        admitted: c1.1 - c0.1,
+        rejected: c1.2 - c0.2,
+        completed: c1.3 - c0.3,
+        executions: c1.4 - c0.4,
+        memo_hits: c1.5 - c0.5,
+        saturated_offered_x: saturated.offered_x,
+        tenants: saturated.tenants.clone(),
+    }
+}
+
 fn main() {
     let scale = Scale::test_scale();
     let parallel_threads = assasin_parallel::current_max_threads();
@@ -526,6 +597,7 @@ fn main() {
 
     let components = run_components();
     let array = run_array_pass(&scale);
+    let serving = run_serving_pass(&scale);
 
     let report = PerfSmokeReport {
         scale: "test",
@@ -541,6 +613,7 @@ fn main() {
         lane_speedup: serial_total_secs / lanes_total_secs.max(1e-9),
         components,
         array,
+        serving,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_perf_smoke.json", &json).expect("write BENCH_perf_smoke.json");
@@ -586,4 +659,29 @@ fn main() {
         a.link_stall_secs * 1e3,
         a.rebuild_bytes
     );
+    let s = &report.serving;
+    eprintln!(
+        "perf_smoke serving: {} submitted, {} admitted, {} rejected, \
+         {} completed off {} device executions ({} memo hits); \
+         saturated point ({:.1}x offered):",
+        s.submissions,
+        s.admitted,
+        s.rejected,
+        s.completed,
+        s.executions,
+        s.memo_hits,
+        s.saturated_offered_x
+    );
+    for t in &s.tenants {
+        eprintln!(
+            "perf_smoke serving tenant {:>8}: {}/{} completed, {} rejected, \
+             {} SLO violations, p99 {}",
+            t.name,
+            t.completed,
+            t.submitted,
+            t.rejected,
+            t.slo_violations,
+            t.p99_us.map_or("n/a".to_string(), |v| format!("{v:.1} us")),
+        );
+    }
 }

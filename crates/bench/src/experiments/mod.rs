@@ -12,6 +12,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig_array;
 pub mod fig_reliability;
+pub mod fig_serving;
 pub mod table02;
 pub mod table04;
 pub mod table05;

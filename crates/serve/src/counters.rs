@@ -1,0 +1,48 @@
+//! Process-wide serving statistics for the perf harness.
+//!
+//! Mirrors the `assasin_ssd` / `assasin_array` counter idiom: cumulative
+//! atomics the perf harness snapshots before/after a region and
+//! subtracts, so parallel sweeps aggregate correctly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SUBMISSIONS: AtomicU64 = AtomicU64::new(0);
+static ADMITTED: AtomicU64 = AtomicU64::new(0);
+static REJECTED: AtomicU64 = AtomicU64::new(0);
+static COMPLETED: AtomicU64 = AtomicU64::new(0);
+static EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(submissions, admitted, rejected, completed, executions,
+/// memo_hits)` over every serving run in this process: requests offered
+/// by load generators, requests that passed admission control, typed
+/// rejections, requests served to completion, genuine device executions,
+/// and requests satisfied from a memoized service profile.
+pub fn serve_counters() -> (u64, u64, u64, u64, u64, u64) {
+    (
+        SUBMISSIONS.load(Ordering::Relaxed),
+        ADMITTED.load(Ordering::Relaxed),
+        REJECTED.load(Ordering::Relaxed),
+        COMPLETED.load(Ordering::Relaxed),
+        EXECUTIONS.load(Ordering::Relaxed),
+        MEMO_HITS.load(Ordering::Relaxed),
+    )
+}
+
+pub(crate) fn record_submission(admitted: bool) {
+    SUBMISSIONS.fetch_add(1, Ordering::Relaxed);
+    if admitted {
+        ADMITTED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        REJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn record_completion(memo_hit: bool) {
+    COMPLETED.fetch_add(1, Ordering::Relaxed);
+    if memo_hit {
+        MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}

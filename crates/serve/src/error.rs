@@ -1,0 +1,80 @@
+//! Serving-layer errors.
+
+use assasin_array::ArrayError;
+use assasin_ssd::SsdError;
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the serving front-end.
+///
+/// Per-request outcomes (admission rejections) are **not** errors — they
+/// are typed [`Response::Rejected`](crate::transport::Response) values; a
+/// `ServeError` means the run itself cannot proceed (bad configuration)
+/// or the backing device failed a request in a way the instance cannot
+/// absorb.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The serving configuration is inconsistent.
+    BadConfig(String),
+    /// A tenant mix references a workload id the instance does not have.
+    UnknownWorkload {
+        /// The out-of-range workload id.
+        workload: usize,
+        /// Workloads the instance actually registers.
+        registered: usize,
+    },
+    /// The backing single device failed a request.
+    Device(SsdError),
+    /// The backing array failed a request.
+    Array(ArrayError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig(why) => write!(f, "bad serve config: {why}"),
+            ServeError::UnknownWorkload {
+                workload,
+                registered,
+            } => write!(
+                f,
+                "workload {workload} not registered (instance has {registered})"
+            ),
+            ServeError::Device(e) => write!(f, "device failed: {e}"),
+            ServeError::Array(e) => write!(f, "array failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Device(e) => Some(e),
+            ServeError::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsdError> for ServeError {
+    fn from(e: SsdError) -> Self {
+        ServeError::Device(e)
+    }
+}
+
+impl From<ArrayError> for ServeError {
+    fn from(e: ArrayError) -> Self {
+        ServeError::Array(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ServeError>();
+    }
+}

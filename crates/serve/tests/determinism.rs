@@ -1,0 +1,169 @@
+//! The serving determinism contract: the same `(config, seed)` produces
+//! byte-identical serving-report JSON on every run and at every thread
+//! count.
+//!
+//! Two sources of nondeterminism could leak into a report: the load
+//! generator / scheduler (pure integer state — pinned by repeated-run
+//! identity over a real `SsdInstance`) and the backing device's own
+//! execution engine (pinned by serving the same config over an
+//! `ArrayInstance` in `ArrayExec::Serial` vs `ArrayExec::Threaded`, the
+//! same serial-vs-threaded bar the array crate's own determinism suite
+//! uses). Reports carry no wall-clock fields, so byte equality is the
+//! right comparison — any drift anywhere fails loudly.
+
+use assasin_array::{ArrayConfig, ArrayExec, ArrayPlacement, SsdArray};
+use assasin_core::EngineKind;
+use assasin_kernels::{scan, stat};
+use assasin_serve::{
+    serve, ArrayInstance, ArrivalModel, Instance, ServeConfig, SsdInstance, TenantSpec,
+};
+use assasin_sim::SimDur;
+use assasin_ssd::{KernelBundle, ScompRequest, Ssd, SsdConfig};
+use proptest::prelude::*;
+
+/// Pins the thread budget to 8 before anything claims from it, so the
+/// threaded arm really crosses threads even on a single-core host.
+fn init_threads() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "8"));
+}
+
+fn pattern(n: usize, salt: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(salt) >> 8) as u8)
+        .collect()
+}
+
+fn scan_bundle() -> KernelBundle {
+    KernelBundle::new("scan", scan::TUPLE_BYTES, 0.0, scan::program)
+}
+
+fn stat_bundle() -> KernelBundle {
+    KernelBundle::new("stat", stat::TUPLE_BYTES, 0.0, stat::program)
+}
+
+/// A fresh single-device instance with two registered workloads.
+fn ssd_instance() -> SsdInstance {
+    let mut inst = SsdInstance::new(Ssd::new(SsdConfig::small_for_tests(EngineKind::AssasinSb)));
+    let data = pattern(96 * 1024, 7);
+    let bytes = data.len() as u64;
+    let lpas = inst.ssd_mut().load_object(0, &data).expect("load");
+    let scan_lpas = lpas.clone();
+    inst.register("scan", move || {
+        ScompRequest::new(scan_bundle(), vec![scan_lpas.clone()]).with_stream_bytes(vec![bytes])
+    });
+    inst.register("stat", move || {
+        ScompRequest::new(stat_bundle(), vec![lpas.clone()]).with_stream_bytes(vec![bytes])
+    });
+    inst
+}
+
+/// A fresh 3-device array instance with one kernel-over-object workload.
+fn array_instance(exec: ArrayExec) -> ArrayInstance {
+    let device = SsdConfig::small_for_tests(EngineKind::AssasinSb);
+    let cfg = ArrayConfig::new(3, ArrayPlacement::Striped, device)
+        .with_chunk_bytes(8192)
+        .with_exec(exec);
+    let mut array = SsdArray::new(cfg).expect("valid config");
+    array
+        .store_object(1, &pattern(80 * 1024, 13))
+        .expect("store");
+    let mut inst = ArrayInstance::new(array);
+    inst.register("scan", 1, scan_bundle);
+    inst
+}
+
+fn two_tenant_config(seed: u64, depth: usize, weight: u32, workloads: usize) -> ServeConfig {
+    let mix = if workloads > 1 {
+        vec![(0, 2), (1, 1)]
+    } else {
+        vec![(0, 1)]
+    };
+    ServeConfig::new(
+        seed,
+        vec![
+            TenantSpec::new(
+                "alpha",
+                depth,
+                ArrivalModel::Open {
+                    mean_gap: SimDur::from_us(40),
+                    requests: 25,
+                },
+            )
+            .with_mix(mix)
+            .with_slo(SimDur::from_us(500)),
+            TenantSpec::new(
+                "beta",
+                depth,
+                ArrivalModel::Closed {
+                    concurrency: 3,
+                    think: SimDur::from_us(20),
+                    requests_per_client: 6,
+                },
+            )
+            .with_weight(weight),
+        ],
+    )
+}
+
+fn report_bytes(instance: &mut dyn Instance, cfg: &ServeConfig) -> String {
+    serde_json::to_string(&serve(instance, cfg).expect("serving run completes"))
+        .expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn same_seed_reports_are_byte_identical_across_runs(
+        seed in 0u64..1_000_000,
+        depth in 1usize..12,
+        weight in 1u32..5,
+    ) {
+        init_threads();
+        let cfg = two_tenant_config(seed, depth, weight, 2);
+        let a = report_bytes(&mut ssd_instance(), &cfg);
+        let b = report_bytes(&mut ssd_instance(), &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_array_backend_serves_byte_identically_to_serial(
+        seed in 0u64..1_000_000,
+        depth in 1usize..8,
+        workers in 2usize..=3,
+    ) {
+        init_threads();
+        let cfg = two_tenant_config(seed, depth, 2, 1);
+        let serial = report_bytes(&mut array_instance(ArrayExec::Serial), &cfg);
+        let threaded = report_bytes(
+            &mut array_instance(ArrayExec::Threaded { workers }),
+            &cfg,
+        );
+        prop_assert_eq!(serial, threaded);
+    }
+}
+
+/// Memoization must be invisible in serving behaviour over a *real*
+/// device, not just the unit-test stub: the report's per-tenant rows and
+/// timeline are identical whether every request executes or only the
+/// first per workload does.
+#[test]
+fn memoization_is_invisible_over_a_real_device() {
+    init_threads();
+    let mut on_cfg = two_tenant_config(42, 6, 2, 2);
+    on_cfg.memoize = true;
+    let mut off_cfg = two_tenant_config(42, 6, 2, 2);
+    off_cfg.memoize = false;
+
+    let on = serve(&mut ssd_instance(), &on_cfg).expect("memoized run");
+    let off = serve(&mut ssd_instance(), &off_cfg).expect("unmemoized run");
+
+    assert_eq!(
+        serde_json::to_string(&on.tenants).unwrap(),
+        serde_json::to_string(&off.tenants).unwrap()
+    );
+    assert_eq!(on.makespan_us, off.makespan_us);
+    assert_eq!(on.total_completed, off.total_completed);
+    assert_eq!(on.executions, 2, "one device execution per workload");
+    assert_eq!(off.executions, off.total_completed);
+}

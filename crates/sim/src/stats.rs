@@ -20,12 +20,16 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
 }
 
 /// Throughput in bytes/second for `bytes` processed in `elapsed`.
-pub fn throughput_bps(bytes: u64, elapsed: SimDur) -> f64 {
-    let secs = elapsed.as_secs_f64();
-    if secs == 0.0 {
-        0.0
+///
+/// Returns `None` when no time elapsed: an instantaneous measurement
+/// has no defined rate, and reporting it as `0.0` would be
+/// indistinguishable from "no bytes moved". Report code serializes the
+/// `Option` directly (JSON `null`) or maps it to an explicit sentinel.
+pub fn throughput_bps(bytes: u64, elapsed: SimDur) -> Option<f64> {
+    if elapsed.is_zero() {
+        None
     } else {
-        bytes as f64 / secs
+        Some(bytes as f64 / elapsed.as_secs_f64())
     }
 }
 
@@ -179,9 +183,14 @@ mod tests {
     }
 
     #[test]
-    fn throughput_zero_time_is_zero() {
-        assert_eq!(throughput_bps(100, SimDur::ZERO), 0.0);
-        let t = throughput_bps(1_000_000_000, SimDur::from_secs_f64(1.0));
+    fn throughput_zero_time_is_undefined_not_zero() {
+        // Regression: this used to report 0.0, conflating "no time
+        // elapsed" with "no bytes moved".
+        assert_eq!(throughput_bps(100, SimDur::ZERO), None);
+        assert_eq!(throughput_bps(0, SimDur::ZERO), None);
+        // Zero bytes over real time genuinely is zero throughput.
+        assert_eq!(throughput_bps(0, SimDur::from_us(1)), Some(0.0));
+        let t = throughput_bps(1_000_000_000, SimDur::from_secs_f64(1.0)).unwrap();
         assert!((bps_to_gbps(t) - 1.0).abs() < 1e-9);
     }
 

@@ -31,6 +31,12 @@ pub enum SsdError {
     BadRequest(String),
     /// A simulation invariant failed (e.g. no forward progress).
     Stuck(String),
+    /// A request-path state invariant was violated mid-flight (missing
+    /// DRAM window, out-of-range output cursor, absent write-path
+    /// state). A hostile or buggy request program can drive these, so
+    /// they fail the request with a typed error instead of aborting the
+    /// process — a long-lived server degrades instead of dying.
+    Invariant(String),
 }
 
 impl fmt::Display for SsdError {
@@ -47,6 +53,7 @@ impl fmt::Display for SsdError {
             SsdError::CoreWedged(m) => write!(f, "compute engine wedged: {m}"),
             SsdError::BadRequest(m) => write!(f, "malformed scomp request: {m}"),
             SsdError::Stuck(m) => write!(f, "simulation made no progress: {m}"),
+            SsdError::Invariant(m) => write!(f, "request-path invariant violated: {m}"),
         }
     }
 }

@@ -197,14 +197,12 @@ pub struct ScompResult {
 }
 
 impl ScompResult {
-    /// Input throughput in bytes/second.
+    /// Input throughput in bytes/second, `NaN` when no time elapsed
+    /// (an instantaneous measurement has no defined rate; report code
+    /// that needs to distinguish uses `assasin_sim::stats::throughput_bps`
+    /// directly, which returns `Option`).
     pub fn throughput_bps(&self) -> f64 {
-        let s = self.elapsed.as_secs_f64();
-        if s == 0.0 {
-            0.0
-        } else {
-            self.bytes_in as f64 / s
-        }
+        assasin_sim::stats::throughput_bps(self.bytes_in, self.elapsed).unwrap_or(f64::NAN)
     }
 
     /// Input throughput in GB/s (the paper's unit).

@@ -49,14 +49,10 @@ pub struct PlainIoResult {
 }
 
 impl PlainIoResult {
-    /// Delivered throughput in bytes/second.
+    /// Delivered throughput in bytes/second, `NaN` when no time
+    /// elapsed (an instantaneous transfer has no defined rate).
     pub fn throughput_bps(&self) -> f64 {
-        let s = self.elapsed.as_secs_f64();
-        if s == 0.0 {
-            0.0
-        } else {
-            self.data.len() as f64 / s
-        }
+        assasin_sim::stats::throughput_bps(self.data.len() as u64, self.elapsed).unwrap_or(f64::NAN)
     }
 }
 
@@ -866,7 +862,7 @@ fn stage_windows(
             backend.per_core_streamed[*id] += plan.len as u64;
             let offset = *sid as u64 * *stride + cursors[qi];
             cursors[qi] += plan.len as u64;
-            cores[*id].window_mut().expect("window set above").stage(
+            engine_window(cores[*id].window_mut(), *id, "mem staging")?.stage(
                 offset,
                 &payload,
                 flash_arrival + dram_latency,
@@ -874,6 +870,25 @@ fn stage_windows(
         }
     }
     Ok(())
+}
+
+/// An engine's DRAM window, or a typed invariant error if it is not
+/// attached. Both the staging loop and Mem-style finalization used to
+/// `.expect()` here, so a request hitting a detached window aborted the
+/// whole process; a long-lived server needs the request to fail instead.
+fn engine_window<W>(window: Option<W>, id: usize, what: &str) -> Result<W, SsdError> {
+    window.ok_or_else(|| SsdError::Invariant(format!("{what}: engine {id} has no DRAM window")))
+}
+
+/// The write path's program-completion time for engine `id`, or a typed
+/// invariant error when the flash-output state (or this engine's slot in
+/// it) is absent — formerly `.expect("write-path state")`.
+fn write_path_prog_done(prog: Option<SimTime>, id: usize) -> Result<SimTime, SsdError> {
+    prog.ok_or_else(|| {
+        SsdError::Invariant(format!(
+            "write path: engine {id} has no flash-output program state"
+        ))
+    })
 }
 
 /// Formats the `SsdError::Stuck` diagnostic: per-core execution state plus
@@ -1070,11 +1085,21 @@ impl Session<'_> {
                     let base = 0x1000_0000 + mem_out_offsets[id];
                     let out_len = cursor.saturating_sub(base);
                     if out_len > 0 {
-                        let data = core
-                            .window()
-                            .expect("window attached")
-                            .bytes(mem_out_offsets[id], out_len as usize)
-                            .to_vec();
+                        // Both the window's presence and the output
+                        // cursor are program-observable state; a buggy
+                        // kernel scribbling S5 must fail the request,
+                        // not abort the process.
+                        let window = engine_window(core.window(), id, "mem finalize")?;
+                        let end = mem_out_offsets[id].saturating_add(out_len);
+                        if end > window.size() as u64 {
+                            return Err(SsdError::Invariant(format!(
+                                "mem finalize: engine {id} output cursor {cursor:#x} places \
+                                 results at {:#x}..{end:#x}, past its {}-byte DRAM window",
+                                mem_out_offsets[id],
+                                window.size(),
+                            )));
+                        }
+                        let data = window.bytes(mem_out_offsets[id], out_len as usize).to_vec();
                         match output {
                             OutputTarget::Host => {
                                 let staged = dram.borrow_mut().post(halt_time, out_len);
@@ -1097,11 +1122,13 @@ impl Session<'_> {
             // the request completes when programs are durable.
             if backend.flash_out.is_some() {
                 backend.flush_out_page(id, halt_time.max(backend.out_done[id]));
-                let prog = backend
-                    .flash_out
-                    .as_ref()
-                    .expect("write-path state")
-                    .prog_done[id];
+                let prog = write_path_prog_done(
+                    backend
+                        .flash_out
+                        .as_ref()
+                        .and_then(|fo| fo.prog_done.get(id).copied()),
+                    id,
+                )?;
                 backend.out_done[id] = backend.out_done[id].max(prog);
             }
             let end = halt_time.max(backend.out_done[id]);
@@ -1355,6 +1382,63 @@ mod tests {
                 r.throughput_gbps()
             );
         }
+    }
+
+    // Regression tests for the three former `.expect()` panic sites on
+    // the scomp request path (mem staging / mem finalize / write-path
+    // state): each now yields a typed `SsdError::Invariant` so a
+    // long-lived server fails the request instead of aborting.
+
+    #[test]
+    fn detached_window_is_a_typed_error_not_a_panic() {
+        match engine_window(None::<&DramWindow>, 3, "mem staging") {
+            Err(SsdError::Invariant(m)) => {
+                assert!(m.contains("engine 3") && m.contains("mem staging"), "{m}")
+            }
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+        let w = DramWindow::new(64, 32);
+        assert!(engine_window(Some(&w), 0, "mem finalize").is_ok());
+    }
+
+    #[test]
+    fn missing_write_path_state_is_a_typed_error_not_a_panic() {
+        match write_path_prog_done(None, 1) {
+            Err(SsdError::Invariant(m)) => assert!(m.contains("engine 1"), "{m}"),
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+        let t = SimTime::from_ns(5);
+        assert_eq!(write_path_prog_done(Some(t), 1), Ok(t));
+    }
+
+    #[test]
+    fn hostile_output_cursor_fails_the_request_not_the_process() {
+        use assasin_isa::Assembler;
+        // A Mem-style kernel that scribbles the S5 output cursor far past
+        // its DRAM window before halting. Extraction used to slice the
+        // window with the program-controlled length and panic; it must
+        // now surface a typed error and leave the device usable.
+        let mut ssd = make_ssd(EngineKind::Baseline);
+        let data: Vec<u8> = vec![7u8; 64 * 1024];
+        let lpas = ssd.load_object(0, &data).unwrap();
+        let hostile = KernelBundle::new("hostile-cursor", 64, 1.0, |_| {
+            let mut asm = Assembler::with_name("hostile-cursor");
+            asm.li(Reg::S5, 0x7FFF_0000);
+            asm.halt();
+            asm.finish().expect("hostile kernel assembles")
+        });
+        let req = ScompRequest::new(hostile, vec![lpas.clone()])
+            .with_stream_bytes(vec![data.len() as u64]);
+        match ssd.scomp(&req) {
+            Err(SsdError::Invariant(m)) => assert!(m.contains("output cursor"), "{m}"),
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+        // The device degrades instead of dying: a well-behaved request
+        // on the same device still completes.
+        let req =
+            ScompRequest::new(scan_bundle(), vec![lpas]).with_stream_bytes(vec![data.len() as u64]);
+        let r = ssd.scomp(&req).expect("device survives a hostile request");
+        assert_eq!(r.bytes_in, data.len() as u64);
     }
 
     #[test]
